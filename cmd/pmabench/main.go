@@ -1,0 +1,104 @@
+// Command pmabench regenerates the paper's evaluation (Section 4).
+//
+// Every figure has a driver:
+//
+//	pmabench -experiment figure3 -plot a     # Figure 3a-f
+//	pmabench -experiment figure4 -plot b     # Figure 4a-c
+//	pmabench -experiment ablation-segment    # Section 4.1 text: B=128 vs 256
+//	pmabench -experiment ablation-leaf       # Section 4.1 text: 4KiB vs 8KiB leaves
+//	pmabench -experiment all                 # everything, in order
+//
+// The defaults are laptop-scale; -inserts/-load/-ops/-threads restore any
+// scale (the paper used 1G elements and 16 hardware threads).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"pmago/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | graph | all")
+		plot       = flag.String("plot", "", "figure3: a-f (empty = all); figure4: a-c (empty = all)")
+		inserts    = flag.Int("inserts", bench.DefaultScale().InsertN, "elements inserted in insert-only experiments")
+		loadN      = flag.Int("load", bench.DefaultScale().LoadN, "preloaded base size for the mixed experiments")
+		mixedN     = flag.Int("ops", bench.DefaultScale().MixedN, "timed update ops in the mixed experiments")
+		threads    = flag.Int("threads", bench.DefaultScale().Threads, "total worker threads (goroutines), as in the paper's 16")
+		seed       = flag.Int64("seed", 1, "base RNG seed")
+	)
+	flag.Parse()
+
+	sc := bench.Scale{InsertN: *inserts, LoadN: *loadN, MixedN: *mixedN, Threads: *threads, Seed: *seed}
+	fmt.Printf("pmabench: scale inserts=%d load=%d mixed-ops=%d threads=%d (GOMAXPROCS=%d)\n\n",
+		sc.InsertN, sc.LoadN, sc.MixedN, sc.Threads, runtime.GOMAXPROCS(0))
+
+	switch *experiment {
+	case "figure3":
+		runFigure3(sc, *plot)
+	case "figure4":
+		runFigure4(sc, *plot)
+	case "ablation-segment":
+		bench.PrintResults(os.Stdout, "Section 4.1 ablation: PMA segment size 128 vs 256 (8 upd + 8 scan threads)",
+			bench.RunSegmentAblation(sc), true)
+	case "ablation-leaf":
+		bench.PrintResults(os.Stdout, "Section 4.1 ablation: ART/B+-tree leaf 4KiB vs 8KiB (8 upd + 8 scan threads)",
+			bench.RunLeafAblation(sc), true)
+	case "graph":
+		printGraph(sc)
+	case "all":
+		runFigure3(sc, "")
+		runFigure4(sc, "")
+		bench.PrintResults(os.Stdout, "Section 4.1 ablation: PMA segment size 128 vs 256",
+			bench.RunSegmentAblation(sc), true)
+		bench.PrintResults(os.Stdout, "Section 4.1 ablation: ART/B+-tree leaf 4KiB vs 8KiB",
+			bench.RunLeafAblation(sc), true)
+		printGraph(sc)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func printGraph(sc bench.Scale) {
+	res := bench.RunGraph(sc.InsertN, 1<<20, sc.Threads/2, sc.Seed)
+	fmt.Println("== Section 6: dynamic CRS graph on the concurrent PMA ==")
+	fmt.Printf("edge updates:        %.3f M/s\n", res.EdgesPerSec/1e6)
+	fmt.Printf("neighbour expansion: %.2f M edges/s concurrent with updates\n", res.NeighborsPerSec/1e6)
+	fmt.Printf("PageRank (3 iters):  %v over %d edges\n\n", res.PageRankTime.Round(time.Millisecond), res.FinalEdges)
+}
+
+func runFigure3(sc bench.Scale, plot string) {
+	for _, p := range bench.Figure3Plots(sc.Threads) {
+		if plot != "" && p.ID != plot {
+			continue
+		}
+		rs := bench.RunFigure3(p, bench.PaperFactories(), sc)
+		bench.PrintResults(os.Stdout, fmt.Sprintf("Figure 3%s) %s", p.ID, p.Caption), rs, p.ScanThreads > 0)
+	}
+}
+
+func runFigure4(sc bench.Scale, plot string) {
+	type sub struct {
+		id      string
+		updThr  int
+		caption string
+	}
+	subs := []sub{
+		{"a", sc.Threads, fmt.Sprintf("Figure 4a) %d threads", sc.Threads)},
+		{"b", sc.Threads * 3 / 4, fmt.Sprintf("Figure 4b) %d threads", sc.Threads*3/4)},
+		{"c", sc.Threads / 2, fmt.Sprintf("Figure 4c) %d threads", sc.Threads/2)},
+	}
+	for _, s := range subs {
+		if plot != "" && s.id != plot {
+			continue
+		}
+		variants, rows := bench.RunFigure4(s.updThr, sc)
+		bench.PrintSpeedups(os.Stdout, s.caption, variants, rows)
+	}
+}

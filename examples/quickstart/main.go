@@ -1,0 +1,66 @@
+// Quickstart: the basic pmago API — create a concurrent PMA, write from
+// several goroutines, read while writing, scan in order, inspect stats.
+package main
+
+import (
+	"fmt"
+	"sync"
+
+	"pmago"
+)
+
+func main() {
+	p, err := pmago.New() // the paper's defaults: B=128, 8 segs/gate, batch mode
+	if err != nil {
+		panic(err)
+	}
+	defer p.Close()
+
+	// Concurrent writers: sorted key/value pairs, upsert semantics.
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := int64(0); i < 50_000; i++ {
+				k := i*4 + int64(w)
+				p.Put(k, k*10)
+			}
+		}(w)
+	}
+
+	// A reader can scan while the writers run: each gate is observed
+	// atomically and keys always come back in ascending order.
+	midScan := 0
+	p.Scan(0, 1_000, func(k, v int64) bool { midScan++; return true })
+	fmt.Printf("mid-write scan saw %d elements in [0,1000]\n", midScan)
+
+	wg.Wait()
+	p.Flush() // make all combined updates visible
+
+	fmt.Printf("stored %d elements in %d slots (density %.2f)\n",
+		p.Len(), p.Capacity(), float64(p.Len())/float64(p.Capacity()))
+
+	if v, ok := p.Get(42); ok {
+		fmt.Printf("Get(42) = %d\n", v)
+	}
+	p.Delete(42)
+	p.Flush()
+	if _, ok := p.Get(42); !ok {
+		fmt.Println("Delete(42) ok")
+	}
+
+	// Range scan: sequential array traversal, the PMA's strength.
+	sum := int64(0)
+	count := 0
+	p.Scan(100_000, 100_999, func(k, v int64) bool {
+		sum += v
+		count++
+		return true
+	})
+	fmt.Printf("scanned %d elements in [100000,100999], value sum %d\n", count, sum)
+
+	st := p.Stats()
+	fmt.Printf("structural events: %d local rebalances, %d global rebalances, %d resizes, %d combined updates\n",
+		st.LocalRebalances, st.GlobalRebalances, st.Resizes, st.CombinedOps)
+}

@@ -1,0 +1,87 @@
+package pmago
+
+import (
+	"pmago/internal/core"
+	"pmago/internal/graph"
+)
+
+// Graph is a concurrent directed graph stored CRS-style in packed memory
+// arrays (Section 6 of the paper): edges keyed (src<<32 | dst) live in one
+// sparse array, vertices in a second, so neighbourhood expansions are
+// sequential range scans while edges stream in concurrently. Vertex ids must
+// not exceed MaxVertex. All methods are safe for concurrent use.
+type Graph struct {
+	g *graph.Graph
+}
+
+// MaxVertex is the largest usable vertex identifier.
+const MaxVertex = graph.MaxVertex
+
+// NewGraph creates an empty graph whose underlying PMAs use the paper's
+// defaults modified by the given options.
+func NewGraph(opts ...Option) (*Graph, error) {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	g, err := graph.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Graph{g: g}, nil
+}
+
+// Close stops the service goroutines of the underlying arrays.
+func (g *Graph) Close() { g.g.Close() }
+
+// AddVertex registers a vertex.
+func (g *Graph) AddVertex(v uint32) { g.g.AddVertex(v) }
+
+// HasVertex reports whether v is registered.
+func (g *Graph) HasVertex(v uint32) bool { return g.g.HasVertex(v) }
+
+// AddEdge inserts or updates the directed edge src -> dst, registering both
+// endpoints.
+func (g *Graph) AddEdge(src, dst uint32, weight int64) { g.g.AddEdge(src, dst, weight) }
+
+// DeleteEdge removes an edge, reporting whether it was present.
+func (g *Graph) DeleteEdge(src, dst uint32) bool { return g.g.DeleteEdge(src, dst) }
+
+// Edge returns the weight of src -> dst.
+func (g *Graph) Edge(src, dst uint32) (int64, bool) { return g.g.Edge(src, dst) }
+
+// Neighbors visits src's outgoing edges in ascending dst order until fn
+// returns false.
+func (g *Graph) Neighbors(src uint32, fn func(dst uint32, weight int64) bool) {
+	g.g.Neighbors(src, fn)
+}
+
+// OutDegree counts src's outgoing edges.
+func (g *Graph) OutDegree(src uint32) int { return g.g.OutDegree(src) }
+
+// EdgeCount returns the number of edges.
+func (g *Graph) EdgeCount() int { return g.g.EdgeCount() }
+
+// VertexCount returns the number of registered vertices.
+func (g *Graph) VertexCount() int { return g.g.VertexCount() }
+
+// Vertices visits every vertex in ascending id order.
+func (g *Graph) Vertices(fn func(v uint32) bool) { g.g.Vertices(fn) }
+
+// Edges visits every edge in (src, dst) order.
+func (g *Graph) Edges(fn func(src, dst uint32, weight int64) bool) { g.g.Edges(fn) }
+
+// Flush applies pending asynchronous updates.
+func (g *Graph) Flush() { g.g.Flush() }
+
+// Stats returns the edge array's structural counters.
+func (g *Graph) Stats() Stats { return g.g.Stats() }
+
+// BFS returns hop distances from src for all reachable vertices.
+func (g *Graph) BFS(src uint32) map[uint32]int { return g.g.BFS(src) }
+
+// PageRank runs power iterations over the live graph, one sequential edge
+// scan per iteration.
+func (g *Graph) PageRank(iters int, damping float64) map[uint32]float64 {
+	return g.g.PageRank(iters, damping)
+}

@@ -1,0 +1,260 @@
+package abtree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func newTest() *Tree { return New(Config{LeafCapacity: 16}) }
+
+func TestBasic(t *testing.T) {
+	tr := newTest()
+	if tr.Len() != 0 {
+		t.Fatal("not empty")
+	}
+	tr.Put(5, 50)
+	tr.Put(3, 30)
+	tr.Put(9, 90)
+	if v, ok := tr.Get(3); !ok || v != 30 {
+		t.Fatalf("Get(3) = %d,%v", v, ok)
+	}
+	if _, ok := tr.Get(4); ok {
+		t.Fatal("absent key found")
+	}
+	tr.Put(3, 31)
+	if v, _ := tr.Get(3); v != 31 {
+		t.Fatal("upsert failed")
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Delete(3) || tr.Delete(3) {
+		t.Fatal("delete semantics wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitsAndOrder(t *testing.T) {
+	tr := newTest()
+	const n = 10_000
+	for i := int64(n); i >= 1; i-- {
+		tr.Put(i, i*2)
+	}
+	keys := tr.Keys()
+	if len(keys) != n {
+		t.Fatalf("%d keys", len(keys))
+	}
+	for i, k := range keys {
+		if k != int64(i+1) {
+			t.Fatalf("keys[%d] = %d", i, k)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteMerges(t *testing.T) {
+	tr := newTest()
+	const n = 5_000
+	for i := int64(0); i < n; i++ {
+		tr.Put(i, i)
+	}
+	order := rand.New(rand.NewSource(2)).Perm(n)
+	for _, i := range order {
+		if !tr.Delete(int64(i)) {
+			t.Fatalf("Delete(%d) failed", i)
+		}
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	// Chain should have collapsed to few leaves.
+	count := 0
+	for l := tr.head; l != nil; l = l.next {
+		count++
+	}
+	if count > 4 {
+		t.Fatalf("%d leaves remain after deleting everything", count)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tr.Put(1, 1)
+	if v, ok := tr.Get(1); !ok || v != 1 {
+		t.Fatal("reuse failed")
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := newTest()
+	for i := int64(0); i < 1000; i++ {
+		tr.Put(i*10, i)
+	}
+	var got []int64
+	tr.Scan(95, 205, func(k, _ int64) bool { got = append(got, k); return true })
+	want := []int64{100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d", i, got[i])
+		}
+	}
+	count := 0
+	tr.ScanAll(func(_, _ int64) bool { count++; return count < 5 })
+	if count != 5 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestModelRandom(t *testing.T) {
+	tr := newTest()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 60_000; i++ {
+		k := int64(rng.Intn(4000)) - 2000
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			want := false
+			if _, ok := model[k]; ok {
+				want = true
+				delete(model, k)
+			}
+			if got := tr.Delete(k); got != want {
+				t.Fatalf("Delete(%d) = %v, want %v", k, got, want)
+			}
+		case 3:
+			wv, wok := model[k]
+			gv, gok := tr.Get(k)
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("Get(%d) mismatch", k)
+			}
+		default:
+			v := rng.Int63()
+			model[k] = v
+			tr.Put(k, v)
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	want := make([]int64, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := tr.Keys()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("key[%d] = %d want %d", i, got[i], want[i])
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	tr := New(Config{LeafCapacity: 32})
+	const workers = 8
+	const per = 5_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * per)
+			for i := int64(0); i < per; i++ {
+				tr.Put(base+i, base+i)
+				if v, ok := tr.Get(base + i); !ok || v != base+i {
+					t.Errorf("read-own-write failed at %d", base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*per {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixedWithScans(t *testing.T) {
+	tr := New(Config{LeafCapacity: 32})
+	stop := make(chan struct{})
+	var scanners sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scanners.Add(1)
+		go func() {
+			defer scanners.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				prev := int64(-1 << 62)
+				tr.ScanAll(func(k, _ int64) bool {
+					if k <= prev {
+						t.Errorf("scan order violation: %d after %d", k, prev)
+						return false
+					}
+					prev = k
+					return true
+				})
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 20_000; i++ {
+				k := int64(rng.Intn(5_000))
+				switch rng.Intn(4) {
+				case 0:
+					tr.Delete(k)
+				case 1:
+					tr.Get(k)
+				default:
+					tr.Put(k, k)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	scanners.Wait()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafCapacityAblation(t *testing.T) {
+	// The Section 4.1 ablation uses 512-pair (8 KiB) leaves.
+	tr := New(Config{LeafCapacity: 512})
+	for i := int64(0); i < 5_000; i++ {
+		tr.Put(i, i)
+	}
+	leaves := 0
+	for l := tr.head; l != nil; l = l.next {
+		leaves++
+	}
+	if leaves > 5000/256+2 {
+		t.Fatalf("too many leaves (%d) for 512-capacity config", leaves)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,7 @@
+package abtree
+
+import "fmt"
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("abtree: "+format, args...)
+}

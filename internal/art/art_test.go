@@ -1,0 +1,313 @@
+package art
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func vp(v int64) *int64 { return &v }
+
+func TestInsertGet(t *testing.T) {
+	tr := New[int64]()
+	keys := []uint64{0, 1, 255, 256, 1 << 16, 1 << 32, 1<<64 - 1, 0xDEADBEEF}
+	for _, k := range keys {
+		tr.Insert(k, vp(int64(k%97)))
+	}
+	for _, k := range keys {
+		v, ok := tr.Get(k)
+		if !ok || *v != int64(k%97) {
+			t.Fatalf("Get(%d) = %v,%v", k, v, ok)
+		}
+	}
+	if _, ok := tr.Get(12345); ok {
+		t.Fatal("absent key found")
+	}
+	if tr.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(keys))
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	tr := New[int64]()
+	tr.Insert(7, vp(1))
+	tr.Insert(7, vp(2))
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	v, _ := tr.Get(7)
+	if *v != 2 {
+		t.Fatalf("value = %d, want 2", *v)
+	}
+}
+
+func TestNodeGrowthThroughAllKinds(t *testing.T) {
+	tr := New[int64]()
+	// 300 children under one byte position forces N4 -> N16 -> N48 -> N256.
+	for i := uint64(0); i < 256; i++ {
+		tr.Insert(i<<8, vp(int64(i)))
+	}
+	for i := uint64(0); i < 256; i++ {
+		v, ok := tr.Get(i << 8)
+		if !ok || *v != int64(i) {
+			t.Fatalf("Get(%d) = %v,%v", i<<8, v, ok)
+		}
+	}
+}
+
+func TestDelete(t *testing.T) {
+	tr := New[int64]()
+	for i := uint64(0); i < 1000; i++ {
+		tr.Insert(i*3, vp(int64(i)))
+	}
+	for i := uint64(0); i < 1000; i += 2 {
+		if !tr.Delete(i * 3) {
+			t.Fatalf("Delete(%d) = false", i*3)
+		}
+	}
+	if tr.Delete(3_000_000) {
+		t.Fatal("deleted an absent key")
+	}
+	for i := uint64(0); i < 1000; i++ {
+		_, ok := tr.Get(i * 3)
+		if want := i%2 == 1; ok != want {
+			t.Fatalf("Get(%d) present=%v, want %v", i*3, ok, want)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+}
+
+func TestDeleteEverythingAndReuse(t *testing.T) {
+	tr := New[int64]()
+	for i := uint64(1); i <= 500; i++ {
+		tr.Insert(i, vp(int64(i)))
+	}
+	for i := uint64(1); i <= 500; i++ {
+		tr.Delete(i)
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d after erasure", tr.Len())
+	}
+	tr.Insert(42, vp(42))
+	if v, ok := tr.Get(42); !ok || *v != 42 {
+		t.Fatal("reuse failed")
+	}
+}
+
+func TestWalkSorted(t *testing.T) {
+	tr := New[int64]()
+	rng := rand.New(rand.NewSource(5))
+	want := map[uint64]bool{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Uint64()
+		tr.Insert(k, vp(int64(i)))
+		want[k] = true
+	}
+	var got []uint64
+	tr.Walk(func(k uint64, _ *int64) { got = append(got, k) })
+	if len(got) != len(want) {
+		t.Fatalf("walk %d keys, want %d", len(got), len(want))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("walk not in ascending order")
+	}
+}
+
+func TestFloor(t *testing.T) {
+	tr := New[int64]()
+	keys := []uint64{10, 20, 30, 1000, 1 << 20, 1 << 40}
+	for _, k := range keys {
+		tr.Insert(k, vp(int64(k)))
+	}
+	cases := []struct {
+		q     uint64
+		want  int64
+		found bool
+	}{
+		{9, 0, false},
+		{10, 10, true},
+		{15, 10, true},
+		{20, 20, true},
+		{999, 30, true},
+		{1000, 1000, true},
+		{1<<20 - 1, 1000, true},
+		{1 << 20, 1 << 20, true},
+		{1<<40 + 5, 1 << 40, true},
+		{1<<64 - 1, 1 << 40, true},
+	}
+	for _, c := range cases {
+		v, found := tr.Floor(c.q)
+		if found != c.found {
+			t.Fatalf("Floor(%d) found=%v, want %v", c.q, found, c.found)
+		}
+		if found && *v != c.want {
+			t.Fatalf("Floor(%d) = %d, want %d", c.q, *v, c.want)
+		}
+	}
+}
+
+func TestFloorRandomAgainstReference(t *testing.T) {
+	tr := New[int64]()
+	rng := rand.New(rand.NewSource(77))
+	var sorted []uint64
+	for i := 0; i < 3000; i++ {
+		k := rng.Uint64() >> uint(rng.Intn(40)) // mix of dense and sparse
+		tr.Insert(k, vp(int64(k)))
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Dedup.
+	uniq := sorted[:0]
+	for i, k := range sorted {
+		if i == 0 || k != uniq[len(uniq)-1] {
+			uniq = append(uniq, k)
+		}
+	}
+	for q := 0; q < 5000; q++ {
+		k := rng.Uint64() >> uint(rng.Intn(40))
+		i := sort.Search(len(uniq), func(i int) bool { return uniq[i] > k })
+		v, found := tr.Floor(k)
+		if i == 0 {
+			if found {
+				t.Fatalf("Floor(%d) found %d, want none", k, *v)
+			}
+			continue
+		}
+		if !found || *v != int64(uniq[i-1]) {
+			t.Fatalf("Floor(%d) = %v,%v want %d", k, v, found, uniq[i-1])
+		}
+	}
+}
+
+func TestConcurrentInsertGet(t *testing.T) {
+	tr := New[int64]()
+	const workers = 8
+	const per = 4000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				k := uint64(w*per + i)
+				tr.Insert(k*7, vp(int64(k)))
+				if v, ok := tr.Get(k * 7); !ok || *v != int64(k) {
+					t.Errorf("read-own-write failed for %d", k*7)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*per {
+		t.Fatalf("Len = %d, want %d", tr.Len(), workers*per)
+	}
+}
+
+func TestConcurrentMixed(t *testing.T) {
+	tr := New[int64]()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 8000; i++ {
+				k := uint64(rng.Intn(4000))
+				switch rng.Intn(4) {
+				case 0:
+					tr.Delete(k)
+				case 1:
+					tr.Get(k)
+				case 2:
+					tr.Floor(k)
+				default:
+					tr.Insert(k, vp(int64(k)))
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	// Tree must still be structurally sound: walk is sorted and Get agrees.
+	var prev uint64
+	first := true
+	tr.Walk(func(k uint64, v *int64) {
+		if !first && k <= prev {
+			t.Fatalf("walk order violation: %d after %d", k, prev)
+		}
+		if *v != int64(k) {
+			t.Fatalf("value mismatch at %d", k)
+		}
+		prev, first = k, false
+	})
+}
+
+func TestConcurrentFloorConsistency(t *testing.T) {
+	tr := New[int64]()
+	// Pre-seed so Floor always finds something.
+	tr.Insert(0, vp(0))
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func(seed int64) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				q := uint64(rng.Intn(100_000))
+				v, found := tr.Floor(q)
+				if !found {
+					t.Error("Floor lost the seed key 0")
+					return
+				}
+				if *v < 0 || uint64(*v) > q {
+					t.Errorf("Floor(%d) returned key %d", q, *v)
+					return
+				}
+			}
+		}(int64(r))
+	}
+	for i := 0; i < 50_000; i++ {
+		k := uint64(rand.Intn(100_000))
+		tr.Insert(k, vp(int64(k)))
+	}
+	close(stop)
+	readers.Wait()
+}
+
+// TestFloorSkipsEmptiedBranch is a regression test: deletions can leave an
+// empty inner node behind, and a floor query whose largest lower sibling is
+// such an empty subtree must fall back to the next one instead of reporting
+// no result.
+func TestFloorSkipsEmptiedBranch(t *testing.T) {
+	tr := New[int64]()
+	// Three subtrees under distinct top bytes; the middle one has two
+	// entries so deleting them leaves an inner node without children
+	// (no compression happens when numCh drops 2 -> 0 in one subtree).
+	tr.Insert(0x10<<56|1, vp(1))
+	tr.Insert(0x10<<56|2, vp(2))
+	tr.Insert(0x20<<56|1, vp(3))
+	tr.Insert(0x20<<56|2, vp(4))
+	tr.Insert(0x30<<56|1, vp(5))
+	tr.Delete(0x20<<56 | 1)
+	tr.Delete(0x20<<56 | 2)
+	// Floor of a key routed into the 0x30 subtree below its min must
+	// skip the emptied 0x20 subtree and land on the 0x10 maximum.
+	v, found := tr.Floor(0x30 << 56)
+	if !found || *v != 2 {
+		t.Fatalf("Floor = %v,%v want 2,true", v, found)
+	}
+	// Floor of a key inside the emptied range behaves the same.
+	v, found = tr.Floor(0x20<<56 | 5)
+	if !found || *v != 2 {
+		t.Fatalf("Floor in emptied range = %v,%v want 2,true", v, found)
+	}
+}

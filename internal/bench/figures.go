@@ -1,0 +1,228 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"text/tabwriter"
+	"time"
+
+	"pmago/internal/core"
+	"pmago/internal/workload"
+)
+
+// Scale sets the experiment size. The paper runs 1G elements on a dual
+// socket Xeon; DefaultScale is the laptop-scale equivalent — the flags of
+// cmd/pmabench restore any size.
+type Scale struct {
+	InsertN int // elements inserted in the insert-only plots
+	LoadN   int // preloaded base for the mixed plots
+	MixedN  int // timed update ops in the mixed plots
+	Threads int // the paper's 16 hardware threads
+	Seed    int64
+}
+
+// DefaultScale finishes in minutes on a laptop while still exercising many
+// resizes and thousands of rebalances.
+func DefaultScale() Scale {
+	return Scale{InsertN: 1 << 21, LoadN: 1 << 21, MixedN: 1 << 20, Threads: 16, Seed: 1}
+}
+
+// Plot describes one sub-plot of Figure 3: a thread partition and whether
+// the update pattern is insert-only or mixed.
+type Plot struct {
+	ID            string
+	UpdateThreads int
+	ScanThreads   int
+	Mixed         bool
+	Caption       string
+}
+
+// Figure3Plots returns the six sub-plots a-f for the given total thread
+// count (16 in the paper).
+func Figure3Plots(threads int) []Plot {
+	q := threads / 4
+	h := threads / 2
+	return []Plot{
+		{"a", threads, 0, false, fmt.Sprintf("%dt insertions only", threads)},
+		{"b", threads - q, q, false, fmt.Sprintf("%dt insertions, %dt scans", threads-q, q)},
+		{"c", h, h, false, fmt.Sprintf("%dt insertions, %dt scans", h, h)},
+		{"d", threads, 0, true, fmt.Sprintf("%dt updates only", threads)},
+		{"e", threads - q, q, true, fmt.Sprintf("%dt updates, %dt scans", threads-q, q)},
+		{"f", h, h, true, fmt.Sprintf("%dt updates, %dt scans", h, h)},
+	}
+}
+
+// RunFigure3 executes one sub-plot across the four structures and the four
+// distributions, returning results grouped per structure in plot order.
+func RunFigure3(plot Plot, factories []Factory, sc Scale) []Result {
+	var out []Result
+	for _, d := range workload.PaperDistributions() {
+		for _, f := range factories {
+			w := Workload{
+				Dist:          d,
+				UpdateThreads: plot.UpdateThreads,
+				ScanThreads:   plot.ScanThreads,
+				Seed:          sc.Seed,
+			}
+			if plot.Mixed {
+				w.LoadN = sc.LoadN
+				w.Ops = sc.MixedN
+				w.Mixed = true
+			} else {
+				w.Ops = sc.InsertN
+			}
+			out = append(out, Run(f, w))
+		}
+	}
+	return out
+}
+
+// Figure4Variant is one bar group of Figure 4.
+type Figure4Variant struct {
+	Name string
+	Cfg  core.Config
+}
+
+// Figure4Variants returns the asynchronous-update configurations evaluated
+// in Figure 4: the synchronous baseline, one-by-one processing, and batch
+// processing with tdelay from 0 to 800 ms.
+func Figure4Variants() []Figure4Variant {
+	mk := func(name string, mode core.Mode, tdelay time.Duration) Figure4Variant {
+		cfg := core.DefaultConfig()
+		cfg.Mode = mode
+		cfg.TDelay = tdelay
+		return Figure4Variant{Name: name, Cfg: cfg}
+	}
+	return []Figure4Variant{
+		mk("Baseline", core.ModeSync, 0),
+		mk("1by1", core.ModeOneByOne, 0),
+		mk("Batch 0ms", core.ModeBatch, 0),
+		mk("Batch 100ms", core.ModeBatch, 100*time.Millisecond),
+		mk("Batch 200ms", core.ModeBatch, 200*time.Millisecond),
+		mk("Batch 400ms", core.ModeBatch, 400*time.Millisecond),
+		mk("Batch 800ms", core.ModeBatch, 800*time.Millisecond),
+	}
+}
+
+// SpeedupRow is one distribution's speedups relative to the baseline.
+type SpeedupRow struct {
+	Dist     workload.Distribution
+	Baseline float64 // absolute updates/sec of the synchronous PMA
+	Speedup  []float64
+}
+
+// RunFigure4 reproduces one sub-plot of Figure 4 (a: 16, b: 12, c: 8 update
+// threads; the remaining threads scan), inserting InsertN elements and
+// reporting per-variant speedup over the synchronous baseline.
+func RunFigure4(updateThreads int, sc Scale) ([]Figure4Variant, []SpeedupRow) {
+	variants := Figure4Variants()
+	scanThreads := sc.Threads - updateThreads
+	var rows []SpeedupRow
+	for _, d := range workload.PaperDistributions() {
+		row := SpeedupRow{Dist: d}
+		for i, v := range variants {
+			res := Run(PMAFactory("PMA-"+v.Name, v.Cfg), Workload{
+				Dist:          d,
+				Ops:           sc.InsertN,
+				UpdateThreads: updateThreads,
+				ScanThreads:   scanThreads,
+				Seed:          sc.Seed,
+			})
+			if i == 0 {
+				row.Baseline = res.UpdatesPerSec
+				row.Speedup = append(row.Speedup, 1.0)
+			} else {
+				row.Speedup = append(row.Speedup, res.UpdatesPerSec/row.Baseline)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return variants, rows
+}
+
+// RunSegmentAblation reproduces the Section 4.1 text experiment: doubling
+// the PMA segment size from 128 to 256 trades update throughput for scan
+// throughput.
+func RunSegmentAblation(sc Scale) []Result {
+	var out []Result
+	for _, segCap := range []int{128, 256} {
+		cfg := PaperPMAConfig()
+		cfg.SegmentCapacity = segCap
+		f := PMAFactory(fmt.Sprintf("PMA B=%d", segCap), cfg)
+		for _, d := range []workload.Distribution{workload.Uniform(), workload.Zipf(1.5)} {
+			out = append(out, Run(f, Workload{
+				Dist:          d,
+				Ops:           sc.InsertN,
+				UpdateThreads: sc.Threads / 2,
+				ScanThreads:   sc.Threads / 2,
+				Seed:          sc.Seed,
+			}))
+		}
+	}
+	return out
+}
+
+// RunLeafAblation reproduces the ART/B+-tree leaf-size experiment of
+// Section 4.1: growing leaves from 4 KiB to 8 KiB closes most of the scan
+// gap to the PMA at the cost of update throughput.
+func RunLeafAblation(sc Scale) []Result {
+	var out []Result
+	factories := []Factory{
+		ABTreeFactory("ART 4KiB", 256),
+		ABTreeFactory("ART 8KiB", 512),
+		PMAFactory("PMA", PaperPMAConfig()),
+	}
+	for _, f := range factories {
+		for _, d := range []workload.Distribution{workload.Uniform(), workload.Zipf(1.5)} {
+			out = append(out, Run(f, Workload{
+				Dist:          d,
+				Ops:           sc.InsertN,
+				UpdateThreads: sc.Threads / 2,
+				ScanThreads:   sc.Threads / 2,
+				Seed:          sc.Seed,
+			}))
+		}
+	}
+	return out
+}
+
+// PrintResults renders results as the paper's two panels (update throughput
+// and scan throughput) in aligned columns.
+func PrintResults(w io.Writer, caption string, rs []Result, showScans bool) {
+	fmt.Fprintf(w, "== %s ==\n", caption)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "structure\tdistribution\tupdates M/s\t")
+	if showScans {
+		fmt.Fprintf(tw, "scanned M elts/s\t")
+	}
+	fmt.Fprintf(tw, "final size\twall\n")
+	for _, r := range rs {
+		fmt.Fprintf(tw, "%s\t%s\t%.3f\t", r.Store, r.Dist, r.UpdatesPerSec/1e6)
+		if showScans {
+			fmt.Fprintf(tw, "%.2f\t", r.ScansPerSec/1e6)
+		}
+		fmt.Fprintf(tw, "%d\t%s\n", r.FinalLen, r.Wall.Round(time.Millisecond))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// PrintSpeedups renders a Figure 4 sub-plot.
+func PrintSpeedups(w io.Writer, caption string, variants []Figure4Variant, rows []SpeedupRow) {
+	fmt.Fprintf(w, "== %s (speedup w.r.t. baseline) ==\n", caption)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "distribution\tbaseline M/s")
+	for _, v := range variants[1:] {
+		fmt.Fprintf(tw, "\t%s", v.Name)
+	}
+	fmt.Fprintln(tw)
+	for _, row := range rows {
+		fmt.Fprintf(tw, "%s\t%.3f", row.Dist, row.Baseline/1e6)
+		for _, s := range row.Speedup[1:] {
+			fmt.Fprintf(tw, "\t%.2fx", s)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}

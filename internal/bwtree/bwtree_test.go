@@ -1,0 +1,276 @@
+package bwtree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func newTest() *Tree {
+	return New(Config{LeafCapacity: 16, InnerCapacity: 8, ConsolidateAt: 4})
+}
+
+func TestBasic(t *testing.T) {
+	tr := newTest()
+	if tr.Len() != 0 {
+		t.Fatal("not empty")
+	}
+	tr.Put(5, 50)
+	tr.Put(3, 30)
+	if v, ok := tr.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	if _, ok := tr.Get(4); ok {
+		t.Fatal("absent key found")
+	}
+	tr.Put(5, 51)
+	if v, _ := tr.Get(5); v != 51 {
+		t.Fatal("upsert failed")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Delete(5) || tr.Delete(5) {
+		t.Fatal("delete semantics wrong")
+	}
+	if _, ok := tr.Get(5); ok {
+		t.Fatal("deleted key still visible")
+	}
+}
+
+func TestDeltaChainVisibility(t *testing.T) {
+	// Updates must be visible before any consolidation runs.
+	tr := New(Config{LeafCapacity: 1024, InnerCapacity: 64, ConsolidateAt: 1 << 30})
+	for i := int64(0); i < 100; i++ {
+		tr.Put(i, i*2)
+	}
+	for i := int64(0); i < 100; i += 2 {
+		tr.Delete(i)
+	}
+	for i := int64(0); i < 100; i++ {
+		v, ok := tr.Get(i)
+		if i%2 == 0 {
+			if ok {
+				t.Fatalf("deleted key %d visible", i)
+			}
+		} else if !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+func TestSplitsAscending(t *testing.T) {
+	tr := newTest()
+	const n = 20_000
+	for i := int64(0); i < n; i++ {
+		tr.Put(i, i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	keys := tr.Keys()
+	if len(keys) != n {
+		t.Fatalf("scan returned %d keys", len(keys))
+	}
+	for i, k := range keys {
+		if k != int64(i) {
+			t.Fatalf("keys[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestSplitsDescending(t *testing.T) {
+	tr := newTest()
+	const n = 10_000
+	for i := int64(n); i >= 1; i-- {
+		tr.Put(i, -i)
+	}
+	keys := tr.Keys()
+	if len(keys) != n {
+		t.Fatalf("%d keys", len(keys))
+	}
+	for i, k := range keys {
+		if k != int64(i+1) {
+			t.Fatalf("keys[%d] = %d", i, k)
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	tr := newTest()
+	for i := int64(0); i < 2000; i++ {
+		tr.Put(i*10, i)
+	}
+	var got []int64
+	tr.Scan(95, 205, func(k, _ int64) bool { got = append(got, k); return true })
+	want := []int64{100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d", i, got[i])
+		}
+	}
+	count := 0
+	tr.ScanAll(func(_, _ int64) bool { count++; return count < 9 })
+	if count != 9 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestModelRandom(t *testing.T) {
+	tr := newTest()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 60_000; i++ {
+		k := int64(rng.Intn(4000))
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			want := false
+			if _, ok := model[k]; ok {
+				want = true
+				delete(model, k)
+			}
+			if got := tr.Delete(k); got != want {
+				t.Fatalf("op %d: Delete(%d) = %v want %v", i, k, got, want)
+			}
+		case 3:
+			wv, wok := model[k]
+			gv, gok := tr.Get(k)
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("op %d: Get(%d) = %d,%v want %d,%v", i, k, gv, gok, wv, wok)
+			}
+		default:
+			v := rng.Int63()
+			model[k] = v
+			tr.Put(k, v)
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	want := make([]int64, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := tr.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("scan %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("key[%d] = %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	tr := New(Config{LeafCapacity: 64, InnerCapacity: 16, ConsolidateAt: 6})
+	const workers = 8
+	const per = 5_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * per)
+			for i := int64(0); i < per; i++ {
+				tr.Put(base+i, base+i)
+				if v, ok := tr.Get(base + i); !ok || v != base+i {
+					t.Errorf("read-own-write failed at %d", base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*per {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	prev := int64(-1)
+	tr.ScanAll(func(k, _ int64) bool {
+		if k != prev+1 {
+			t.Errorf("gap after %d", prev)
+			return false
+		}
+		prev = k
+		return true
+	})
+	if prev != workers*per-1 {
+		t.Fatalf("scan ended at %d", prev)
+	}
+}
+
+func TestConcurrentMixedWithScans(t *testing.T) {
+	tr := New(Config{LeafCapacity: 64, InnerCapacity: 16, ConsolidateAt: 6})
+	stop := make(chan struct{})
+	var scanners sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scanners.Add(1)
+		go func() {
+			defer scanners.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				prev := int64(-1 << 62)
+				tr.ScanAll(func(k, _ int64) bool {
+					if k <= prev {
+						t.Errorf("scan order violation: %d after %d", k, prev)
+						return false
+					}
+					prev = k
+					return true
+				})
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 20_000; i++ {
+				k := int64(rng.Intn(5_000))
+				switch rng.Intn(4) {
+				case 0:
+					tr.Delete(k)
+				case 1:
+					tr.Get(k)
+				default:
+					tr.Put(k, k)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	scanners.Wait()
+}
+
+func TestConcurrentSameKeyUpserts(t *testing.T) {
+	tr := newTest()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				tr.Put(42, int64(w))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", tr.Len())
+	}
+	if v, ok := tr.Get(42); !ok || v < 0 || v > 7 {
+		t.Fatalf("Get(42) = %d,%v", v, ok)
+	}
+}

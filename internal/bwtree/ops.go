@@ -1,0 +1,308 @@
+package bwtree
+
+import (
+	"math"
+	"sort"
+)
+
+// Get returns the value stored under k: the newest delta for k wins, the
+// base node otherwise.
+func (t *Tree) Get(k int64) (int64, bool) {
+	_, n, _ := t.findLeaf(k)
+	for d := n; d != nil; d = d.next {
+		switch d.kind {
+		case deltaInsert:
+			if d.key == k {
+				return d.val, true
+			}
+		case deltaDelete:
+			if d.key == k {
+				return 0, false
+			}
+		case leafBase:
+			i := sort.Search(len(d.keys), func(i int) bool { return d.keys[i] >= k })
+			if i < len(d.keys) && d.keys[i] == k {
+				return d.vals[i], true
+			}
+			return 0, false
+		}
+	}
+	return 0, false
+}
+
+// leafContains reports whether the chain currently stores k.
+func leafContains(n *node, k int64) bool {
+	for d := n; d != nil; d = d.next {
+		switch d.kind {
+		case deltaInsert:
+			if d.key == k {
+				return true
+			}
+		case deltaDelete:
+			if d.key == k {
+				return false
+			}
+		case leafBase:
+			i := sort.Search(len(d.keys), func(i int) bool { return d.keys[i] >= k })
+			return i < len(d.keys) && d.keys[i] == k
+		}
+	}
+	return false
+}
+
+// Put inserts or replaces k/v by CAS-prepending an insert delta.
+func (t *Tree) Put(k, v int64) {
+	if k == keyMin || k == keyMax {
+		panic("bwtree: cannot store sentinel key")
+	}
+	for {
+		id, head, parents := t.findLeaf(k)
+		present := leafContains(head, k)
+		d := &node{
+			kind: deltaInsert, leaf: true, next: head,
+			chainLen: head.chainLen + 1,
+			key:      k, val: v,
+		}
+		if t.entry(id).CompareAndSwap(head, d) {
+			if !present {
+				t.size.Add(1)
+			}
+			if int(d.chainLen) > t.cfg.ConsolidateAt {
+				t.consolidateLeaf(id, d, parents)
+			}
+			return
+		}
+	}
+}
+
+// Delete removes k, reporting whether it was present.
+func (t *Tree) Delete(k int64) bool {
+	if k == keyMin || k == keyMax {
+		return false
+	}
+	for {
+		id, head, parents := t.findLeaf(k)
+		if !leafContains(head, k) {
+			return false
+		}
+		d := &node{
+			kind: deltaDelete, leaf: true, next: head,
+			chainLen: head.chainLen + 1,
+			key:      k,
+		}
+		if t.entry(id).CompareAndSwap(head, d) {
+			t.size.Add(-1)
+			if int(d.chainLen) > t.cfg.ConsolidateAt {
+				t.consolidateLeaf(id, d, parents)
+			}
+			return true
+		}
+	}
+}
+
+// replayLeaf merges a leaf chain into sorted keys/vals.
+func replayLeaf(n *node) (keys, vals []int64, hi int64, side nodeID) {
+	type mod struct {
+		val int64
+		del bool
+	}
+	mods := map[int64]mod{}
+	base := n
+	for base.next != nil {
+		switch base.kind {
+		case deltaInsert:
+			if _, seen := mods[base.key]; !seen {
+				mods[base.key] = mod{val: base.val}
+			}
+		case deltaDelete:
+			if _, seen := mods[base.key]; !seen {
+				mods[base.key] = mod{del: true}
+			}
+		}
+		base = base.next
+	}
+	keys = make([]int64, 0, len(base.keys)+len(mods))
+	vals = make([]int64, 0, len(base.keys)+len(mods))
+	// New keys from deltas, sorted.
+	var fresh []int64
+	for k, m := range mods {
+		if !m.del {
+			fresh = append(fresh, k)
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	fi := 0
+	for i, k := range base.keys {
+		for fi < len(fresh) && fresh[fi] < k {
+			keys = append(keys, fresh[fi])
+			vals = append(vals, mods[fresh[fi]].val)
+			fi++
+		}
+		if m, hit := mods[k]; hit {
+			if !m.del {
+				if fi < len(fresh) && fresh[fi] == k {
+					fi++
+				}
+				keys = append(keys, k)
+				vals = append(vals, m.val)
+			}
+			continue
+		}
+		keys = append(keys, k)
+		vals = append(vals, base.vals[i])
+	}
+	for ; fi < len(fresh); fi++ {
+		keys = append(keys, fresh[fi])
+		vals = append(vals, mods[fresh[fi]].val)
+	}
+	return keys, vals, base.hi, base.side
+}
+
+// consolidateLeaf replaces a long chain with a fresh base node, splitting it
+// when over capacity: the consolidated left half's side link points at the
+// newly allocated right node, and the separator is posted at the parent.
+func (t *Tree) consolidateLeaf(id nodeID, head *node, parents []nodeID) {
+	keys, vals, hi, side := replayLeaf(head)
+	if len(keys) <= t.cfg.LeafCapacity {
+		base := &node{
+			kind: leafBase, leaf: true, chainLen: 1,
+			keys: keys, vals: vals, hi: hi, side: side,
+		}
+		t.entry(id).CompareAndSwap(head, base)
+		return
+	}
+	mid := len(keys) / 2
+	sep := keys[mid]
+	rightID := t.alloc()
+	t.entry(rightID).Store(&node{
+		kind: leafBase, leaf: true, chainLen: 1,
+		keys: append([]int64{}, keys[mid:]...),
+		vals: append([]int64{}, vals[mid:]...),
+		hi:   hi, side: side,
+	})
+	left := &node{
+		kind: leafBase, leaf: true, chainLen: 1,
+		keys: keys[:mid:mid], vals: vals[:mid:mid],
+		hi: sep, side: rightID,
+	}
+	if t.entry(id).CompareAndSwap(head, left) {
+		t.help(parents, sep, rightID, id)
+	}
+}
+
+// replayInner merges an inner chain into sorted separators and children.
+func replayInner(n *node) (seps []int64, kids []nodeID, hi int64, side nodeID) {
+	type entry struct {
+		sep int64
+		kid nodeID
+	}
+	var fresh []entry
+	base := n
+	for base.next != nil {
+		if base.kind == deltaIndexEntry {
+			dup := false
+			for _, f := range fresh {
+				if f.sep == base.key {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				fresh = append(fresh, entry{base.key, base.kid})
+			}
+		}
+		base = base.next
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i].sep < fresh[j].sep })
+	seps = make([]int64, 0, len(base.keys)+len(fresh))
+	kids = make([]nodeID, 0, len(base.kids)+len(fresh))
+	kids = append(kids, base.kids[0])
+	fi := 0
+	for i, s := range base.keys {
+		for fi < len(fresh) && fresh[fi].sep < s {
+			seps = append(seps, fresh[fi].sep)
+			kids = append(kids, fresh[fi].kid)
+			fi++
+		}
+		if fi < len(fresh) && fresh[fi].sep == s {
+			fi++ // already known
+		}
+		seps = append(seps, s)
+		kids = append(kids, base.kids[i+1])
+	}
+	for ; fi < len(fresh); fi++ {
+		seps = append(seps, fresh[fi].sep)
+		kids = append(kids, fresh[fi].kid)
+	}
+	return seps, kids, base.hi, base.side
+}
+
+// consolidateInner rebuilds an inner chain, splitting when over capacity by
+// promoting the middle separator.
+func (t *Tree) consolidateInner(id nodeID, head *node, parents []nodeID) {
+	seps, kids, hi, side := replayInner(head)
+	if len(kids) <= t.cfg.InnerCapacity {
+		base := &node{
+			kind: innerBase, chainLen: 1,
+			keys: seps, kids: kids, hi: hi, side: side,
+		}
+		t.entry(id).CompareAndSwap(head, base)
+		return
+	}
+	mid := len(seps) / 2
+	sep := seps[mid]
+	rightID := t.alloc()
+	t.entry(rightID).Store(&node{
+		kind: innerBase, chainLen: 1,
+		keys: append([]int64{}, seps[mid+1:]...),
+		kids: append([]nodeID{}, kids[mid+1:]...),
+		hi:   hi, side: side,
+	})
+	left := &node{
+		kind: innerBase, chainLen: 1,
+		keys: seps[:mid:mid], kids: kids[: mid+1 : mid+1],
+		hi: sep, side: rightID,
+	}
+	if t.entry(id).CompareAndSwap(head, left) {
+		t.help(parents, sep, rightID, id)
+	}
+}
+
+// Scan visits all pairs with lo <= key <= hi in ascending order, stopping
+// when fn returns false. Each leaf is replayed into a snapshot (the
+// delta-replay cost of Bw-Tree scans the paper's evaluation highlights).
+func (t *Tree) Scan(lo, hi int64, fn func(k, v int64) bool) {
+	if lo > hi {
+		return
+	}
+	from := lo
+	for {
+		_, head, _ := t.findLeaf(from)
+		keys, vals, nodeHi, side := replayLeaf(head)
+		i := sort.Search(len(keys), func(i int) bool { return keys[i] >= from })
+		for ; i < len(keys); i++ {
+			if keys[i] > hi {
+				return
+			}
+			if !fn(keys[i], vals[i]) {
+				return
+			}
+		}
+		if nodeHi > hi || nodeHi == keyMax || side == invalidID {
+			return
+		}
+		from = nodeHi
+	}
+}
+
+// ScanAll visits every pair in ascending key order.
+func (t *Tree) ScanAll(fn func(k, v int64) bool) {
+	t.Scan(math.MinInt64+1, math.MaxInt64-1, fn)
+}
+
+// Keys returns all keys in order (test helper).
+func (t *Tree) Keys() []int64 {
+	out := make([]int64, 0, t.Len())
+	t.ScanAll(func(k, _ int64) bool { out = append(out, k); return true })
+	return out
+}

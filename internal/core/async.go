@@ -1,0 +1,291 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"pmago/internal/epoch"
+)
+
+// drainQueue is the active writer's loop of Section 3.5: with pQ installed,
+// it repeatedly takes whatever accumulated in the queue and processes it with
+// the configured policy, leaving the gate only once the queue is empty (or
+// after handing work to the rebalancer).
+func (p *PMA) drainQueue(st *state, g *gate, guard *epoch.Guard) {
+	var reroute []op
+	for {
+		g.mu.Lock()
+		ops := g.q.ops
+		g.q.ops = nil
+		if len(ops) == 0 {
+			g.q = nil
+			g.lstate = lsFree
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			break
+		}
+		g.mu.Unlock()
+
+		var rest []op
+		var released bool
+		if p.cfg.Mode == ModeOneByOne {
+			rest, released = p.drainOneByOne(st, g, ops)
+		} else {
+			rest, released = p.drainBatch(st, g, ops)
+		}
+		reroute = append(reroute, rest...)
+		if released {
+			break
+		}
+	}
+	p.maybeRequestShrink(st)
+	// Updates that no longer belong to this gate (its fences moved under a
+	// global rebalance, or a racy index read misrouted their writer) are
+	// replayed through the synchronous path.
+	for _, o := range reroute {
+		p.updateSyncInternal(o, guard)
+	}
+}
+
+// drainOneByOne processes ops in arrival order through the normal in-gate
+// path, preserving adaptive rebalancing. When an op forces a global
+// rebalance, the writer stops accepting new updates (detaching pQ), transfers
+// its latch to the rebalancer, and returns the residue for re-routing —
+// exactly the policy described for the one-by-one scheme.
+func (p *PMA) drainOneByOne(st *state, g *gate, ops []op) (reroute []op, released bool) {
+	for i, o := range ops {
+		if o.key < g.fenceLo || o.key > g.fenceHi {
+			reroute = append(reroute, o)
+			continue
+		}
+		if o.del {
+			if g.del(o.key) {
+				st.card.Add(-1)
+			}
+			continue
+		}
+		switch g.put(st, o.key, o.val) {
+		case putInserted:
+			st.card.Add(1)
+		case putReplaced:
+		case putNeedsGlobal:
+			gen := g.rebGen
+			g.mu.Lock()
+			extra := g.q.ops
+			g.q = nil // stop accepting
+			g.lstate = lsTransferred
+			g.mu.Unlock()
+			req := &request{kind: reqRebalance, st: st, g: g, gen: gen, pending: 1, done: make(chan struct{})}
+			p.reb.submit(req)
+			<-req.done
+			reroute = append(reroute, o)
+			reroute = append(reroute, ops[i+1:]...)
+			reroute = append(reroute, extra...)
+			return reroute, true
+		}
+	}
+	return reroute, false
+}
+
+// drainBatch implements batch processing: deletions first, then the smallest
+// calibrator window that fits all insertions is rebalanced with them merged
+// in. When no in-chunk window fits, the batch is handed to the rebalancer,
+// rate-limited by TDelay per gate; the latch is released but pQ stays set so
+// the queue keeps absorbing updates until the rebalancer picks it up.
+func (p *PMA) drainBatch(st *state, g *gate, ops []op) (reroute []op, released bool) {
+	ins, dels, out := compactOps(ops, g.fenceLo, g.fenceHi)
+	reroute = out
+
+	removed := int64(0)
+	for _, dk := range dels {
+		if g.del(dk) {
+			removed++
+		}
+	}
+	if removed > 0 {
+		st.card.Add(-removed)
+	}
+	if len(ins) == 0 {
+		return reroute, false
+	}
+	if delta, ok := g.mergeLocal(st, ins); ok {
+		st.card.Add(int64(delta))
+		return reroute, false
+	}
+
+	// Hand the batch to the rebalancer. lastReb is read under the latch we
+	// still hold; then the latch is released with pQ left set.
+	notBefore := time.Unix(0, g.lastReb).Add(p.cfg.TDelay)
+	if time.Now().Before(notBefore) {
+		p.deferredBatches.Add(1)
+	} else {
+		notBefore = time.Time{}
+	}
+	g.mu.Lock()
+	pending := make([]op, 0, len(ins)+len(g.q.ops))
+	pending = append(pending, ins...)
+	pending = append(pending, g.q.ops...)
+	g.q.ops = pending
+	g.pendingBatch = true
+	g.lstate = lsFree
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	p.reb.submit(&request{kind: reqBatch, st: st, g: g, notBefore: notBefore})
+	return reroute, true
+}
+
+// compactOps reduces an op sequence to its final effect per key (later ops
+// supersede earlier ones on the same key), split into key-sorted insert ops,
+// sorted delete keys, and ops outside [lo, hi] that must be re-routed.
+func compactOps(ops []op, lo, hi int64) (ins []op, dels []int64, reroute []op) {
+	final := make(map[int64]op, len(ops))
+	for _, o := range ops {
+		if o.key < lo || o.key > hi {
+			reroute = append(reroute, o)
+			continue
+		}
+		final[o.key] = o
+	}
+	for _, o := range final {
+		if o.del {
+			dels = append(dels, o.key)
+		} else {
+			ins = append(ins, o)
+		}
+	}
+	sort.Slice(ins, func(i, j int) bool { return ins[i].key < ins[j].key })
+	sort.Slice(dels, func(i, j int) bool { return dels[i] < dels[j] })
+	return ins, dels, reroute
+}
+
+// mergeSorted merges the chunk elements exK/exV with sorted unique insert
+// ops, upsert-style (an insert with an existing key replaces its value).
+func mergeSorted(exK, exV []int64, ins []op) (ks, vs []int64) {
+	ks = make([]int64, 0, len(exK)+len(ins))
+	vs = make([]int64, 0, len(exK)+len(ins))
+	i, j := 0, 0
+	for i < len(exK) && j < len(ins) {
+		switch {
+		case exK[i] < ins[j].key:
+			ks = append(ks, exK[i])
+			vs = append(vs, exV[i])
+			i++
+		case exK[i] == ins[j].key:
+			ks = append(ks, ins[j].key)
+			vs = append(vs, ins[j].val)
+			i++
+			j++
+		default:
+			ks = append(ks, ins[j].key)
+			vs = append(vs, ins[j].val)
+			j++
+		}
+	}
+	for ; i < len(exK); i++ {
+		ks = append(ks, exK[i])
+		vs = append(vs, exV[i])
+	}
+	for ; j < len(ins); j++ {
+		ks = append(ks, ins[j].key)
+		vs = append(vs, ins[j].val)
+	}
+	return ks, vs
+}
+
+// updateSyncInternal applies one op through the synchronous path regardless
+// of the configured mode. Used to re-route misdirected queued ops and by
+// Flush.
+func (p *PMA) updateSyncInternal(o op, guard *epoch.Guard) bool {
+	for {
+		st := p.state.Load()
+		gi := clampGate(st.index.Lookup(o.key), len(st.gates))
+		for {
+			g := st.gates[gi]
+			g.lockX()
+			if g.invalid {
+				g.unlockX()
+				break
+			}
+			if o.key < g.fenceLo && gi > 0 {
+				g.unlockX()
+				gi--
+				continue
+			}
+			if o.key > g.fenceHi && gi < len(st.gates)-1 {
+				g.unlockX()
+				gi++
+				continue
+			}
+			if o.del {
+				deleted := g.del(o.key)
+				if deleted {
+					st.card.Add(-1)
+				}
+				g.unlockX()
+				return deleted
+			}
+			switch g.put(st, o.key, o.val) {
+			case putReplaced:
+				g.unlockX()
+				return true
+			case putInserted:
+				st.card.Add(1)
+				g.unlockX()
+				return true
+			default:
+				p.requestGlobalAndWait(st, g, 1)
+				guard.Refresh()
+				break
+			}
+			break
+		}
+		guard.Refresh()
+	}
+}
+
+// Flush forces every combining queue and every deferred batch to be applied.
+// After Flush returns (and provided no new updates raced with it), reads
+// observe all previously accepted updates. In ModeSync it is a no-op beyond
+// a service round-trip.
+func (p *PMA) Flush() {
+	guard := p.epochs.Enter()
+	defer guard.Leave()
+	for {
+		// Push all delayed batches through the rebalancer now.
+		done := make(chan struct{})
+		p.reb.submit(&request{kind: reqFlushDelayed, done: done})
+		<-done
+		if !p.sweepQueues(guard) {
+			return
+		}
+	}
+}
+
+// sweepQueues steals every idle gate's combining queue and replays its ops
+// synchronously, reporting whether anything was found.
+func (p *PMA) sweepQueues(guard *epoch.Guard) bool {
+	stole := false
+	st := p.state.Load()
+	for gi := 0; gi < len(st.gates); gi++ {
+		g := st.gates[gi]
+		g.mu.Lock()
+		if g.invalid {
+			g.mu.Unlock()
+			return true // resized under us: report dirty so Flush retries
+		}
+		var ops []op
+		if g.q != nil && g.lstate == lsFree && !g.rebWanted {
+			ops = g.q.ops
+			g.q = nil
+			g.pendingBatch = false
+		}
+		g.mu.Unlock()
+		if len(ops) > 0 {
+			stole = true
+			for _, o := range ops {
+				p.updateSyncInternal(o, guard)
+			}
+		}
+	}
+	return stole
+}

@@ -1,0 +1,307 @@
+// Package core implements the paper's contribution: a Packed Memory Array
+// supporting concurrent reads and updates (Sections 3.1-3.5).
+//
+// The sparse array is split into equal chunks protected by gates (read-write
+// latches plus fence keys and per-segment minima). A static B+-tree index
+// routes operations to gates in O(log_B N) without synchronisation; fence-key
+// verification absorbs racy index reads. Rebalances that span multiple gates
+// are executed by a centralised rebalancer service (one master goroutine,
+// a pool of workers) to which writers transfer their latch ownership, so no
+// client ever holds more than one latch — the deadlock-freedom argument of
+// Section 3.3. Resizes rebuild array, gates and index behind an atomic state
+// pointer with epoch-based garbage collection (Section 3.4). Skewed writers
+// are decoupled through per-gate combining queues with one-by-one or batch
+// processing and a tdelay rate limit on global rebalances (Section 3.5).
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"pmago/internal/epoch"
+	"pmago/internal/rewire"
+	"pmago/internal/rma"
+	"pmago/internal/sindex"
+)
+
+// Mode selects the update-processing scheme of Section 3.5.
+type Mode int
+
+const (
+	// ModeSync is the baseline: every writer latches its gate exclusively
+	// and blocks until its update is applied.
+	ModeSync Mode = iota
+	// ModeOneByOne combines blocked writers' updates into the active
+	// writer's queue and processes them in arrival order, preserving the
+	// benefit of adaptive rebalancing.
+	ModeOneByOne
+	// ModeBatch combines blocked writers' updates and applies them in two
+	// passes (deletions first, then insertions merged into one rebalance),
+	// deferring global rebalances by TDelay per gate.
+	ModeBatch
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSync:
+		return "sync"
+	case ModeOneByOne:
+		return "1by1"
+	case ModeBatch:
+		return "batch"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Config holds the tunable parameters of the concurrent PMA.
+type Config struct {
+	// SegmentCapacity is the number of slots per segment (the paper's
+	// B = 128). Power of two, >= 4.
+	SegmentCapacity int
+	// SegmentsPerGate is the chunk granularity (the paper uses 8).
+	// Power of two, >= 1.
+	SegmentsPerGate int
+	// Mode selects synchronous or asynchronous update processing.
+	Mode Mode
+	// TDelay is the minimum time between global rebalances of the same
+	// gate in ModeBatch (the paper evaluates 0-800ms, default 100ms).
+	TDelay time.Duration
+	// Workers is the size of the rebalancer's worker pool (the paper
+	// uses 8, matching its cores). Defaults to GOMAXPROCS capped at 8.
+	Workers int
+	// Calibrator-tree thresholds; see rma.Config. The leaf lower
+	// threshold is fixed at 0 with downsizing below 50% occupancy,
+	// matching the paper's evaluation configuration.
+	RhoRoot, TauRoot, TauLeaf float64
+	// Adaptive forces adaptive rebalancing for local rebalances. It is
+	// implied by ModeOneByOne.
+	Adaptive bool
+	// PredictorSize bounds the per-gate adaptive predictor.
+	PredictorSize int
+	// GCInterval is the epoch garbage collector period.
+	GCInterval time.Duration
+}
+
+// DefaultConfig mirrors the evaluation setup of Section 4.
+func DefaultConfig() Config {
+	return Config{
+		SegmentCapacity: 128,
+		SegmentsPerGate: 8,
+		Mode:            ModeBatch,
+		TDelay:          100 * time.Millisecond,
+		RhoRoot:         0.75,
+		TauRoot:         0.75,
+		TauLeaf:         1.0,
+		PredictorSize:   64,
+		GCInterval:      10 * time.Millisecond,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.SegmentCapacity < 4 || c.SegmentCapacity&(c.SegmentCapacity-1) != 0 {
+		return fmt.Errorf("core: segment capacity %d must be a power of two >= 4", c.SegmentCapacity)
+	}
+	if c.SegmentsPerGate < 1 || c.SegmentsPerGate&(c.SegmentsPerGate-1) != 0 {
+		return fmt.Errorf("core: segments per gate %d must be a power of two >= 1", c.SegmentsPerGate)
+	}
+	if !(0 < c.RhoRoot && c.RhoRoot <= c.TauRoot && c.TauRoot < c.TauLeaf && c.TauLeaf <= 1) {
+		return fmt.Errorf("core: thresholds must satisfy 0 < rho_h <= tau_h < tau1 <= 1")
+	}
+	if c.Mode < ModeSync || c.Mode > ModeBatch {
+		return fmt.Errorf("core: unknown mode %d", int(c.Mode))
+	}
+	if c.TDelay < 0 {
+		return fmt.Errorf("core: negative tdelay")
+	}
+	return nil
+}
+
+// Stats exposes structural-event counters for experiments and tests.
+type Stats struct {
+	LocalRebalances  int64
+	GlobalRebalances int64
+	Resizes          int64
+	CombinedOps      int64 // updates absorbed into another writer's queue
+	DeferredBatches  int64 // batches handed to the rebalancer due to tdelay
+	EpochReclaimed   int64 // retired states freed by the epoch collector
+}
+
+// state is one immutable-geometry generation of the sparse array. A resize
+// builds a fresh state and publishes it through PMA.state.
+type state struct {
+	p       *PMA
+	gates   []*gate
+	index   *sindex.Index
+	spg     int
+	b       int
+	numSegs int // len(gates) * spg
+	height  int // calibrator tree height over all segments
+	card    atomic.Int64
+}
+
+func (st *state) slots() int { return st.numSegs * st.b }
+
+// thresholds interpolates the calibrator-tree density thresholds for level k
+// of a tree of height h (Section 2), with the evaluation's relaxed rho1 = 0.
+func (st *state) thresholds(k, h int) (rho, tau float64) {
+	c := st.p.cfg
+	if h <= 1 {
+		return c.RhoRoot, c.TauRoot
+	}
+	f := float64(h-k) / float64(h-1)
+	tau = c.TauRoot + (c.TauLeaf-c.TauRoot)*f
+	rho = c.RhoRoot * (1 - f) // rho1 = 0
+	return rho, tau
+}
+
+// PMA is the concurrent packed memory array. All methods are safe for
+// concurrent use by any number of goroutines.
+type PMA struct {
+	cfg      Config
+	adaptive bool
+
+	state atomic.Pointer[state]
+
+	pool   *rewire.Pool
+	epochs *epoch.Manager
+	gc     *epoch.Collector
+	reb    *rebalancer
+
+	shrinkPending atomic.Bool
+	closed        atomic.Bool
+
+	localRebalances  atomic.Int64
+	globalRebalances atomic.Int64
+	resizes          atomic.Int64
+	combinedOps      atomic.Int64
+	deferredBatches  atomic.Int64
+}
+
+// New creates an empty concurrent PMA and starts its service goroutines
+// (rebalancer master, worker pool, epoch collector). Callers must Close it.
+func New(cfg Config) (*PMA, error) {
+	if cfg.SegmentCapacity == 0 { // fill zero fields from the default
+		def := DefaultConfig()
+		def.Mode = cfg.Mode
+		cfg = def
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = defaultWorkers()
+	}
+	if cfg.GCInterval <= 0 {
+		cfg.GCInterval = 10 * time.Millisecond
+	}
+	if cfg.PredictorSize <= 0 {
+		cfg.PredictorSize = 64
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := &PMA{
+		cfg:      cfg,
+		adaptive: cfg.Adaptive || cfg.Mode == ModeOneByOne,
+		pool:     rewire.NewPool(cfg.SegmentsPerGate*cfg.SegmentCapacity, 4*cfg.Workers+16),
+		epochs:   epoch.NewManager(),
+	}
+	p.state.Store(p.newState(1))
+	p.gc = p.epochs.StartCollector(cfg.GCInterval)
+	p.reb = newRebalancer(p, cfg.Workers)
+	return p, nil
+}
+
+// MustNew is New for configurations known statically valid.
+func MustNew(cfg Config) *PMA {
+	p, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// newState builds an empty state with the given number of gates.
+func (p *PMA) newState(numGates int) *state {
+	st := &state{
+		p:       p,
+		spg:     p.cfg.SegmentsPerGate,
+		b:       p.cfg.SegmentCapacity,
+		numSegs: numGates * p.cfg.SegmentsPerGate,
+	}
+	st.height = log2(st.numSegs) + 1
+	st.gates = make([]*gate, numGates)
+	st.index = sindex.New(numGates)
+	for i := range st.gates {
+		var pred *rma.Predictor
+		if p.adaptive {
+			pred = rma.NewPredictor(p.cfg.PredictorSize)
+		}
+		st.gates[i] = newGate(i, st.spg, st.b, p.pool.Get(), pred)
+	}
+	// Degenerate fences for an all-empty array: gate 0 owns everything.
+	st.gates[0].fenceLo = rma.KeyMin
+	st.gates[len(st.gates)-1].fenceHi = rma.KeyMax
+	for i := 1; i < len(st.gates); i++ {
+		st.gates[i].fenceLo = rma.KeyMax
+		st.gates[i-1].fenceHi = rma.KeyMax - 1
+		st.index.Set(i, rma.KeyMax)
+	}
+	st.index.Set(0, rma.KeyMin)
+	return st
+}
+
+// Close shuts down the service goroutines. Pending delayed batches are
+// applied first so no accepted update is lost. Concurrent operations must
+// have completed before Close is called.
+func (p *PMA) Close() {
+	if p.closed.Swap(true) {
+		return
+	}
+	p.reb.close()
+	p.gc.Stop()
+}
+
+// Len returns the number of elements applied to the array. Updates still
+// sitting in combining queues are not counted; call Flush first for an exact
+// answer after asynchronous updates.
+func (p *PMA) Len() int {
+	return int(p.state.Load().card.Load())
+}
+
+// Capacity returns the current number of slots.
+func (p *PMA) Capacity() int {
+	return p.state.Load().slots()
+}
+
+// NumGates returns the current number of gates (test/diagnostic helper).
+func (p *PMA) NumGates() int {
+	return len(p.state.Load().gates)
+}
+
+// Stats returns a snapshot of the structural counters.
+func (p *PMA) Stats() Stats {
+	return Stats{
+		LocalRebalances:  p.localRebalances.Load(),
+		GlobalRebalances: p.globalRebalances.Load(),
+		Resizes:          p.resizes.Load(),
+		CombinedOps:      p.combinedOps.Load(),
+		DeferredBatches:  p.deferredBatches.Load(),
+		EpochReclaimed:   p.epochs.Reclaimed(),
+	}
+}
+
+// Mode returns the configured update-processing mode.
+func (p *PMA) Mode() Mode { return p.cfg.Mode }
+
+func defaultWorkers() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"pmago/internal/rewire"
+	"pmago/internal/rma"
+)
+
+// Latch states (Section 3.1/3.3). Positive values count shared holders.
+const (
+	lsFree        int32 = 0
+	lsWriter      int32 = -1 // held exclusively by a client writer
+	lsTransferred int32 = -2 // a writer handed its exclusive latch to the rebalancer
+	lsReb         int32 = -3 // held exclusively by the rebalancer service
+)
+
+// gate guards one chunk of the sparse array (Section 3.1). It bundles the
+// read-write latch, the fence keys, the per-segment minimum keys, the
+// combining-queue pointer pQ of Section 3.5, and — in this implementation —
+// the chunk's storage itself, so that "memory rewiring" is an O(1) swap of
+// the buffer pointer under the latch.
+//
+// Locking discipline: mu protects the latch state machine and the combining
+// queue pointer. Everything else (fences, storage, minima, counters) is
+// protected by holding the latch itself in the appropriate mode.
+type gate struct {
+	mu        sync.Mutex
+	cond      sync.Cond
+	lstate    int32
+	wWaiting  int32 // writers parked on the latch; readers yield to them
+	rebWanted bool  // the rebalancer is waiting: new clients queue behind it
+	invalid   bool  // the array was resized; clients must restart on the new state
+
+	q            *opQueue // pQ: set while a writer (or a pending batch) combines
+	pendingBatch bool     // the queue has been handed to the rebalancer
+
+	// --- latch-protected fields ---
+	fenceLo int64 // minimum key this chunk may store (inclusive)
+	fenceHi int64 // maximum key this chunk may store (inclusive)
+	buf     *rewire.Buffer
+	segCard []int
+	smin    []int64 // per-segment minima; empty segments inherit from the right
+	gcard   int     // elements stored in this chunk
+	rebGen  uint64  // bumped every time a global rebalance/resize covers this gate
+	lastReb int64   // monotonic nanos of the last global rebalance (tdelay)
+	pred    *rma.Predictor
+
+	idx int // gate number within its state (fixed)
+	spg int // segments per gate
+	b   int // slots per segment
+}
+
+func newGate(idx, spg, b int, buf *rewire.Buffer, pred *rma.Predictor) *gate {
+	g := &gate{
+		idx:     idx,
+		spg:     spg,
+		b:       b,
+		buf:     buf,
+		segCard: make([]int, spg),
+		smin:    make([]int64, spg),
+		fenceLo: rma.KeyMin,
+		fenceHi: rma.KeyMax,
+		pred:    pred,
+	}
+	g.cond.L = &g.mu
+	for i := range g.smin {
+		g.smin[i] = rma.KeyMax
+	}
+	return g
+}
+
+// --- latch state machine ---
+
+// lockShared blocks while the latch is exclusive, the rebalancer wants the
+// gate, or a writer is parked: without writer priority, back-to-back scan
+// threads would re-acquire the shared latch forever and starve updates.
+func (g *gate) lockShared() {
+	g.mu.Lock()
+	for g.lstate < 0 || g.rebWanted || g.wWaiting > 0 {
+		g.cond.Wait()
+	}
+	g.lstate++
+	g.mu.Unlock()
+}
+
+func (g *gate) unlockShared() {
+	g.mu.Lock()
+	g.lstate--
+	if g.lstate == 0 {
+		g.cond.Broadcast()
+	}
+	g.mu.Unlock()
+}
+
+func (g *gate) lockX() {
+	g.mu.Lock()
+	g.wWaiting++
+	for g.lstate != lsFree || g.rebWanted {
+		g.cond.Wait()
+	}
+	g.wWaiting--
+	g.lstate = lsWriter
+	g.mu.Unlock()
+}
+
+func (g *gate) unlockX() {
+	g.mu.Lock()
+	g.lstate = lsFree
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// transferToReb converts the caller's exclusive hold into the transferred
+// state: the latch stays exclusive, but the rebalancer may adopt it without
+// waiting. This is what prevents the master from deadlocking against writers
+// that queued rebalance requests behind the one being served.
+func (g *gate) transferToReb() {
+	g.mu.Lock()
+	g.lstate = lsTransferred
+	g.mu.Unlock()
+}
+
+// rebLock acquires the latch on behalf of the rebalancer, adopting
+// transferred latches immediately and taking priority over waiting clients.
+func (g *gate) rebLock() {
+	g.mu.Lock()
+	g.rebWanted = true
+	for g.lstate != lsFree && g.lstate != lsTransferred {
+		g.cond.Wait()
+	}
+	g.lstate = lsReb
+	g.rebWanted = false
+	g.mu.Unlock()
+}
+
+func (g *gate) rebUnlock() {
+	g.mu.Lock()
+	g.lstate = lsFree
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// --- chunk storage operations (caller holds the latch) ---
+
+// findSeg locates the segment within the chunk whose range covers k:
+// the rightmost segment whose cached minimum is <= k.
+func (g *gate) findSeg(k int64) int {
+	s := 0
+	for i := 1; i < g.spg; i++ { // spg is small (default 8): linear scan
+		if g.smin[i] <= k {
+			s = i
+		} else {
+			break
+		}
+	}
+	return s
+}
+
+// get looks k up within the chunk.
+func (g *gate) get(k int64) (int64, bool) {
+	s := g.findSeg(k)
+	base := s * g.b
+	keys := g.buf.Keys[base : base+g.segCard[s]]
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	if i < len(keys) && keys[i] == k {
+		return g.buf.Vals[base+i], true
+	}
+	return 0, false
+}
+
+// putResult describes the outcome of an in-gate insert attempt.
+type putResult int
+
+const (
+	putInserted    putResult = iota // new element placed
+	putReplaced                     // existing value overwritten
+	putNeedsGlobal                  // no in-chunk window can absorb the insert
+)
+
+// put upserts k/v within the chunk, rebalancing inside the chunk when the
+// target segment is full. Returns putNeedsGlobal when even the whole chunk
+// cannot absorb the insert under its calibrator threshold, in which case
+// nothing was modified.
+func (g *gate) put(st *state, k, v int64) putResult {
+	s := g.findSeg(k)
+	base := s * g.b
+	keys := g.buf.Keys[base : base+g.segCard[s]]
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	if i < len(keys) && keys[i] == k {
+		g.buf.Vals[base+i] = v
+		return putReplaced
+	}
+	if g.segCard[s] == g.b {
+		ws, we, ok := g.localInsertWindow(st, s, 1)
+		if !ok {
+			return putNeedsGlobal
+		}
+		g.rebalanceLocal(ws, we)
+		st.p.localRebalances.Add(1)
+		s = g.findSeg(k)
+		base = s * g.b
+		keys = g.buf.Keys[base : base+g.segCard[s]]
+		i = sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	}
+	g.insertAt(s, i, k, v)
+	if g.pred != nil {
+		g.pred.Record(k)
+	}
+	return putInserted
+}
+
+// insertAt places k/v at offset i of segment s (which has a free slot).
+func (g *gate) insertAt(s, i int, k, v int64) {
+	base := s * g.b
+	c := g.segCard[s]
+	copy(g.buf.Keys[base+i+1:base+c+1], g.buf.Keys[base+i:base+c])
+	copy(g.buf.Vals[base+i+1:base+c+1], g.buf.Vals[base+i:base+c])
+	g.buf.Keys[base+i] = k
+	g.buf.Vals[base+i] = v
+	g.segCard[s] = c + 1
+	g.gcard++
+	if i == 0 {
+		g.setSegMin(s, k)
+	}
+}
+
+// del removes k from the chunk, reporting whether it was present.
+func (g *gate) del(k int64) bool {
+	s := g.findSeg(k)
+	base := s * g.b
+	c := g.segCard[s]
+	keys := g.buf.Keys[base : base+c]
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	if i == len(keys) || keys[i] != k {
+		return false
+	}
+	copy(g.buf.Keys[base+i:base+c-1], g.buf.Keys[base+i+1:base+c])
+	copy(g.buf.Vals[base+i:base+c-1], g.buf.Vals[base+i+1:base+c])
+	g.segCard[s] = c - 1
+	g.gcard--
+	if i == 0 {
+		if g.segCard[s] > 0 {
+			g.setSegMin(s, g.buf.Keys[base])
+		} else {
+			g.clearSegMin(s)
+		}
+	}
+	return true
+}
+
+func (g *gate) setSegMin(s int, k int64) {
+	g.smin[s] = k
+	for t := s - 1; t >= 0 && g.segCard[t] == 0; t-- {
+		g.smin[t] = k
+	}
+}
+
+func (g *gate) clearSegMin(s int) {
+	inherit := int64(rma.KeyMax)
+	if s+1 < g.spg {
+		inherit = g.smin[s+1]
+	}
+	g.smin[s] = inherit
+	for t := s - 1; t >= 0 && g.segCard[t] == 0; t-- {
+		g.smin[t] = inherit
+	}
+}
+
+// localInsertWindow walks the calibrator tree upward from segment s (local
+// index), considering only windows fully contained in this chunk, and
+// returns the smallest window that can absorb extra pending inserts within
+// its upper density threshold while leaving a free slot per segment.
+// Thresholds are evaluated against the global tree height (the chunk's
+// segments are leaves of the whole PMA's calibrator tree).
+func (g *gate) localInsertWindow(st *state, s, pending int) (ws, we int, ok bool) {
+	h := st.height
+	maxLevel := log2(g.spg) + 1
+	for k := 2; k <= maxLevel; k++ {
+		w := 1 << (k - 1)
+		ws = s &^ (w - 1)
+		we = ws + w
+		cardW := 0
+		for i := ws; i < we; i++ {
+			cardW += g.segCard[i]
+		}
+		_, tau := st.thresholds(k, h)
+		if float64(cardW+pending) <= tau*float64(w*g.b) && cardW+pending <= w*(g.b-1) {
+			return ws, we, true
+		}
+	}
+	return 0, 0, false
+}
+
+// rebalanceLocal redistributes segments [ws, we) of this chunk (a "local
+// rebalance", Section 3.3) using the adaptive policy when a predictor is
+// attached, the traditional even spread otherwise.
+func (g *gate) rebalanceLocal(ws, we int) {
+	ks, vs := g.gatherLocal(ws, we)
+	g.spreadLocal(ws, we, ks, vs)
+}
+
+// gatherLocal copies the window's elements into fresh slices in key order.
+func (g *gate) gatherLocal(ws, we int) (ks, vs []int64) {
+	n := 0
+	for s := ws; s < we; s++ {
+		n += g.segCard[s]
+	}
+	ks = make([]int64, 0, n)
+	vs = make([]int64, 0, n)
+	for s := ws; s < we; s++ {
+		base := s * g.b
+		ks = append(ks, g.buf.Keys[base:base+g.segCard[s]]...)
+		vs = append(vs, g.buf.Vals[base:base+g.segCard[s]]...)
+	}
+	return ks, vs
+}
+
+// spreadLocal writes the sorted elements across segments [ws, we) and
+// refreshes cardinalities and minima.
+func (g *gate) spreadLocal(ws, we int, ks, vs []int64) {
+	m := we - ws
+	var counts []int
+	if g.pred != nil {
+		counts = g.pred.AdaptiveCounts(ks, m, g.b)
+	} else {
+		counts = rma.EvenCounts(len(ks), m)
+	}
+	pos := 0
+	for i := 0; i < m; i++ {
+		s := ws + i
+		base := s * g.b
+		c := counts[i]
+		copy(g.buf.Keys[base:base+c], ks[pos:pos+c])
+		copy(g.buf.Vals[base:base+c], vs[pos:pos+c])
+		g.segCard[s] = c
+		pos += c
+	}
+	g.refreshMinima(ws, we)
+}
+
+// refreshMinima recomputes smin for segments [ws, we) and propagates
+// inherited minima to empty segments on the left.
+func (g *gate) refreshMinima(ws, we int) {
+	inherit := int64(rma.KeyMax)
+	if we < g.spg {
+		inherit = g.smin[we]
+	}
+	for s := we - 1; s >= ws; s-- {
+		if g.segCard[s] > 0 {
+			g.smin[s] = g.buf.Keys[s*g.b]
+			inherit = g.smin[s]
+		} else {
+			g.smin[s] = inherit
+		}
+	}
+	for s := ws - 1; s >= 0 && g.segCard[s] == 0; s-- {
+		g.smin[s] = inherit
+	}
+}
+
+// mergeLocal applies key-sorted, deduplicated insert ops (all within this
+// gate's fences) by rebalancing the smallest in-chunk calibrator window that
+// fits them, merging the insertions during the spread — the second pass of
+// batch processing (Section 3.5). It returns the number of newly created
+// elements and whether the batch fit locally; on false nothing was modified.
+func (g *gate) mergeLocal(st *state, ins []op) (int, bool) {
+	n := len(ins)
+	if n == 0 {
+		return 0, true
+	}
+	s0 := g.findSeg(ins[0].key)
+	s1 := g.findSeg(ins[n-1].key)
+
+	// Level 1: all insertions target a single segment with enough gaps
+	// (tau_1 = 1 allows filling it completely).
+	if s0 == s1 && g.segCard[s0]+n <= g.b {
+		base := s0 * g.b
+		delta := 0
+		for _, o := range ins {
+			keys := g.buf.Keys[base : base+g.segCard[s0]]
+			i := sort.Search(len(keys), func(i int) bool { return keys[i] >= o.key })
+			if i < len(keys) && keys[i] == o.key {
+				g.buf.Vals[base+i] = o.val
+				continue
+			}
+			g.insertAt(s0, i, o.key, o.val)
+			delta++
+		}
+		return delta, true
+	}
+
+	h := st.height
+	maxLevel := log2(g.spg) + 1
+	for k := 2; k <= maxLevel; k++ {
+		w := 1 << (k - 1)
+		ws := s0 &^ (w - 1)
+		we := ws + w
+		if s1 >= we {
+			continue // window does not cover the batch's key span
+		}
+		cardW := 0
+		for i := ws; i < we; i++ {
+			cardW += g.segCard[i]
+		}
+		_, tau := st.thresholds(k, h)
+		if float64(cardW+n) <= tau*float64(w*g.b) && cardW+n <= w*(g.b-1) {
+			exK, exV := g.gatherLocal(ws, we)
+			ks, vs := mergeSorted(exK, exV, ins)
+			g.spreadLocal(ws, we, ks, vs)
+			delta := len(ks) - len(exK)
+			g.gcard += delta
+			st.p.localRebalances.Add(1)
+			return delta, true
+		}
+	}
+	return 0, false
+}
+
+// scanFrom visits the chunk's elements with key in [from, hi], in order,
+// returning false if fn stopped the scan.
+func (g *gate) scanFrom(from, hi int64, fn func(k, v int64) bool) bool {
+	s := g.findSeg(from)
+	base := s * g.b
+	keys := g.buf.Keys[base : base+g.segCard[s]]
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= from })
+	for ; s < g.spg; s++ {
+		base = s * g.b
+		for c := g.segCard[s]; i < c; i++ {
+			k := g.buf.Keys[base+i]
+			if k > hi {
+				return true
+			}
+			if !fn(k, g.buf.Vals[base+i]) {
+				return false
+			}
+		}
+		i = 0
+	}
+	return true
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// quickOps is a generated random operation sequence.
+type quickOps struct {
+	ops  []op
+	mode Mode
+}
+
+func (quickOps) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 500 + r.Intn(3000)
+	domain := int64(1 + r.Intn(2000))
+	ops := make([]op, n)
+	for i := range ops {
+		ops[i] = op{
+			key: r.Int63n(domain) - domain/4,
+			val: r.Int63(),
+			del: r.Intn(4) == 0,
+		}
+	}
+	return reflect.ValueOf(quickOps{ops: ops, mode: Mode(r.Intn(3))})
+}
+
+// TestQuickModelEquivalence: after any op sequence (in any mode, flushed),
+// the concurrent PMA equals a model map, in sorted order, with every
+// structural invariant intact.
+func TestQuickModelEquivalence(t *testing.T) {
+	property := func(q quickOps) bool {
+		p, err := New(testConfig(q.mode))
+		if err != nil {
+			return false
+		}
+		defer p.Close()
+		model := map[int64]int64{}
+		for _, o := range q.ops {
+			if o.del {
+				delete(model, o.key)
+				p.Delete(o.key)
+			} else {
+				model[o.key] = o.val
+				p.Put(o.key, o.val)
+			}
+		}
+		p.Flush()
+		if p.Len() != len(model) {
+			t.Logf("mode %v: Len %d != model %d", q.mode, p.Len(), len(model))
+			return false
+		}
+		if err := p.Validate(); err != nil {
+			t.Logf("mode %v: %v", q.mode, err)
+			return false
+		}
+		want := make([]int64, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		i := 0
+		ok := true
+		p.ScanAll(func(k, v int64) bool {
+			if i >= len(want) || k != want[i] || v != model[k] {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(want)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

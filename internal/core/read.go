@@ -1,0 +1,106 @@
+package core
+
+import "pmago/internal/rma"
+
+// Get returns the value stored under k. Reads never block behind combining
+// queues: updates still queued are not yet visible (Section 3.5 semantics).
+func (p *PMA) Get(k int64) (int64, bool) {
+	if k == rma.KeyMin || k == rma.KeyMax {
+		return 0, false
+	}
+	guard := p.epochs.Enter()
+	defer guard.Leave()
+	for {
+		st := p.state.Load()
+		gi := clampGate(st.index.Lookup(k), len(st.gates))
+		for {
+			g := st.gates[gi]
+			g.lockShared()
+			if g.invalid {
+				g.unlockShared()
+				break
+			}
+			if k < g.fenceLo && gi > 0 {
+				g.unlockShared()
+				gi--
+				continue
+			}
+			if k > g.fenceHi && gi < len(st.gates)-1 {
+				g.unlockShared()
+				gi++
+				continue
+			}
+			v, ok := g.get(k)
+			g.unlockShared()
+			return v, ok
+		}
+		guard.Refresh()
+	}
+}
+
+// Scan visits all pairs with lo <= key <= hi in ascending key order,
+// stopping early when fn returns false. The callback runs while the current
+// gate's latch is held in shared mode, so it must not call update operations
+// of the same PMA (reads are fine) and should be short. The scan latches one
+// gate at a time; it observes each chunk atomically and the sequence of
+// chunks at increasing fence boundaries, which is the same guarantee the
+// paper's scans provide.
+func (p *PMA) Scan(lo, hi int64, fn func(k, v int64) bool) {
+	if lo > hi {
+		return
+	}
+	if lo == rma.KeyMin {
+		lo++
+	}
+	if hi == rma.KeyMax {
+		hi--
+	}
+	guard := p.epochs.Enter()
+	defer guard.Leave()
+	from := lo
+	for {
+		st := p.state.Load()
+		gi := clampGate(st.index.Lookup(from), len(st.gates))
+		for {
+			g := st.gates[gi]
+			g.lockShared()
+			if g.invalid {
+				g.unlockShared()
+				break
+			}
+			if from < g.fenceLo && gi > 0 {
+				g.unlockShared()
+				gi--
+				continue
+			}
+			if from > g.fenceHi && gi < len(st.gates)-1 {
+				g.unlockShared()
+				gi++
+				continue
+			}
+			cont := g.scanFrom(from, hi, fn)
+			fenceHi := g.fenceHi
+			g.unlockShared()
+			if !cont || fenceHi >= hi || fenceHi == rma.KeyMax {
+				return
+			}
+			from = fenceHi + 1
+			if gi++; gi >= len(st.gates) {
+				return
+			}
+		}
+		guard.Refresh()
+	}
+}
+
+// ScanAll visits every stored pair in ascending key order.
+func (p *PMA) ScanAll(fn func(k, v int64) bool) {
+	p.Scan(rma.KeyMin+1, rma.KeyMax-1, fn)
+}
+
+// Keys collects all stored keys in order (test/diagnostic helper).
+func (p *PMA) Keys() []int64 {
+	out := make([]int64, 0, p.Len())
+	p.ScanAll(func(k, _ int64) bool { out = append(out, k); return true })
+	return out
+}

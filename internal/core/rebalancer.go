@@ -1,0 +1,879 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"pmago/internal/rewire"
+	"pmago/internal/rma"
+)
+
+// reqKind enumerates the work items the rebalancer master serves.
+type reqKind int
+
+const (
+	reqRebalance    reqKind = iota // a writer's insert needs a multi-gate window
+	reqBatch                       // a gate's combining queue needs a global merge
+	reqShrink                      // occupancy dropped below the downsize threshold
+	reqFlushDelayed                // force all delayed batches through (Flush)
+)
+
+// request is one unit of work submitted to the master.
+type request struct {
+	kind      reqKind
+	st        *state
+	g         *gate
+	gen       uint64    // g.rebGen at submission; stale requests complete vacuously
+	pending   int       // inserts the rebalanced window must make room for
+	notBefore time.Time // batch rate limiting (tdelay); zero = immediate
+	done      chan struct{}
+}
+
+// rebalancer is the centralised service of Section 3.3: a single master
+// goroutine that owns all multi-gate coordination, plus a pool of workers
+// that redistribute partitions of a window in parallel.
+type rebalancer struct {
+	p       *PMA
+	ch      chan *request
+	stopCh  chan struct{}
+	doneCh  chan struct{}
+	workCh  chan func()
+	workers sync.WaitGroup
+
+	// master-only state
+	delayed  []*request
+	timer    *time.Timer
+	scratchK []int64
+	scratchV []int64
+}
+
+func newRebalancer(p *PMA, workers int) *rebalancer {
+	r := &rebalancer{
+		p:      p,
+		ch:     make(chan *request, 4096),
+		stopCh: make(chan struct{}),
+		doneCh: make(chan struct{}),
+		workCh: make(chan func(), workers),
+	}
+	for i := 0; i < workers; i++ {
+		r.workers.Add(1)
+		go func() {
+			defer r.workers.Done()
+			for f := range r.workCh {
+				f()
+			}
+		}()
+	}
+	go r.run()
+	return r
+}
+
+// submit hands a request to the master. Callers must have released or
+// transferred every gate latch they hold: the master never blocks on a
+// latch in state transferred, so latch-free submitters guarantee progress.
+func (r *rebalancer) submit(req *request) {
+	select {
+	case r.ch <- req:
+	case <-r.stopCh:
+		r.complete(req)
+	}
+}
+
+func (r *rebalancer) complete(req *request) {
+	if req.done != nil {
+		close(req.done)
+	}
+}
+
+func (r *rebalancer) close() {
+	close(r.stopCh)
+	<-r.doneCh
+	close(r.workCh)
+	r.workers.Wait()
+}
+
+// run is the master loop: it serves requests in order, parking rate-limited
+// batches until their tdelay expires.
+func (r *rebalancer) run() {
+	defer close(r.doneCh)
+	for {
+		var timerC <-chan time.Time
+		if len(r.delayed) > 0 {
+			i := r.earliestDelayed()
+			d := time.Until(r.delayed[i].notBefore)
+			if d <= 0 {
+				req := r.delayed[i]
+				r.delayed = append(r.delayed[:i], r.delayed[i+1:]...)
+				r.handle(req)
+				continue
+			}
+			if r.timer == nil {
+				r.timer = time.NewTimer(d)
+			} else {
+				if !r.timer.Stop() {
+					select {
+					case <-r.timer.C:
+					default:
+					}
+				}
+				r.timer.Reset(d)
+			}
+			timerC = r.timer.C
+		}
+		select {
+		case req := <-r.ch:
+			r.dispatch(req)
+		case <-timerC:
+		case <-r.stopCh:
+			r.shutdown()
+			return
+		}
+	}
+}
+
+func (r *rebalancer) dispatch(req *request) {
+	switch {
+	case req.kind == reqFlushDelayed:
+		for len(r.delayed) > 0 {
+			d := r.delayed[0]
+			r.delayed = r.delayed[1:]
+			r.handle(d)
+		}
+		r.complete(req)
+	case req.kind == reqBatch && !req.notBefore.IsZero() && time.Now().Before(req.notBefore):
+		r.delayed = append(r.delayed, req)
+	default:
+		r.handle(req)
+	}
+}
+
+func (r *rebalancer) earliestDelayed() int {
+	best := 0
+	for i := 1; i < len(r.delayed); i++ {
+		if r.delayed[i].notBefore.Before(r.delayed[best].notBefore) {
+			best = i
+		}
+	}
+	return best
+}
+
+// shutdown applies everything still pending so accepted updates are not
+// lost, then drains the channel.
+func (r *rebalancer) shutdown() {
+	for len(r.delayed) > 0 {
+		d := r.delayed[0]
+		r.delayed = r.delayed[1:]
+		r.handle(d)
+	}
+	for {
+		select {
+		case req := <-r.ch:
+			if req.kind == reqFlushDelayed {
+				r.complete(req)
+				continue
+			}
+			r.handle(req)
+		default:
+			return
+		}
+	}
+}
+
+// handle serves one request; updates that had to be re-routed because
+// fences moved are redistributed into their new gates' combining queues in
+// bulk (applying them one by one could trigger a global rebalance per op).
+func (r *rebalancer) handle(req *request) {
+	leftovers := r.process(req)
+	r.complete(req)
+	if len(leftovers) > 0 {
+		r.redistribute(leftovers)
+	}
+}
+
+// redistribute routes misdirected ops to their current gates and parks them
+// in combining queues, scheduling immediate batch requests to apply them.
+// Fence keys only move under this (single) master goroutine, so routing
+// reads them without latches.
+func (r *rebalancer) redistribute(ops []op) {
+	p := r.p
+	st := p.state.Load()
+	groups := make(map[int][]op)
+	for _, o := range ops {
+		gi := clampGate(st.index.Lookup(o.key), len(st.gates))
+		for o.key < st.gates[gi].fenceLo && gi > 0 {
+			gi--
+		}
+		for o.key > st.gates[gi].fenceHi && gi < len(st.gates)-1 {
+			gi++
+		}
+		groups[gi] = append(groups[gi], o)
+	}
+	for gi, group := range groups {
+		g := st.gates[gi]
+		g.mu.Lock()
+		if g.q != nil {
+			// An active writer or a pending batch will absorb them.
+			g.q.ops = append(g.q.ops, group...)
+			g.mu.Unlock()
+			continue
+		}
+		g.q = &opQueue{ops: group}
+		g.pendingBatch = true
+		g.cond.Broadcast()
+		g.mu.Unlock()
+		// Schedule through the master's own pending list (never through
+		// the channel: we are the master, and the channel may be full).
+		r.delayed = append(r.delayed, &request{kind: reqBatch, st: st, g: g})
+	}
+}
+
+// process performs the request's structural work, returning ops that must be
+// re-routed through the normal update path.
+func (r *rebalancer) process(req *request) []op {
+	p := r.p
+	if req.kind == reqShrink {
+		r.maybeShrink()
+		p.shrinkPending.Store(false)
+		return nil
+	}
+	st := p.state.Load()
+	if req.st != st {
+		// The array was resized since submission: queues were absorbed
+		// into the rebuild and waiting writers retry against the new
+		// state.
+		return nil
+	}
+	g := req.g
+	g.rebLock()
+	if g.invalid {
+		g.rebUnlock()
+		return nil
+	}
+	if req.kind == reqRebalance && g.rebGen != req.gen {
+		// A covering rebalance already ran; the writer just retries.
+		g.rebUnlock()
+		return nil
+	}
+
+	// Absorb the gate's combining queue into this job.
+	ops := r.detachQueue(g)
+	ins, dels, leftovers := compactOps(ops, g.fenceLo, g.fenceHi)
+
+	// Batch pass one: deletions only lower density, apply them in place.
+	removed := int64(0)
+	for _, dk := range dels {
+		if g.del(dk) {
+			removed++
+		}
+	}
+	if removed > 0 {
+		st.card.Add(-removed)
+	}
+
+	if req.kind == reqBatch {
+		if len(ins) == 0 {
+			g.rebUnlock()
+			return leftovers
+		}
+		// Deletions may have freed enough space to keep the batch local.
+		if delta, ok := g.mergeLocal(st, ins); ok {
+			st.card.Add(int64(delta))
+			g.rebUnlock()
+			return leftovers
+		}
+	}
+
+	// Window search above the chunk level (Section 3.3): expand aligned
+	// gate ranges upward through the calibrator tree, latching the newly
+	// covered gates along the way. Only the master ever holds more than
+	// one latch.
+	glo, ghi := g.idx, g.idx+1
+	pending := req.pending + len(ins)
+	chunkLevel := log2(st.spg) + 1
+	found := false
+	for k := chunkLevel + 1; k <= st.height; k++ {
+		wSegs := 1 << (k - 1)
+		wGates := wSegs / st.spg
+		nlo := g.idx &^ (wGates - 1)
+		nhi := nlo + wGates
+		for i := nlo; i < glo; i++ {
+			st.gates[i].rebLock()
+		}
+		for i := ghi; i < nhi; i++ {
+			st.gates[i].rebLock()
+		}
+		glo, ghi = nlo, nhi
+		cardW := 0
+		for i := glo; i < ghi; i++ {
+			cardW += st.gates[i].gcard
+		}
+		_, tau := st.thresholds(k, st.height)
+		if float64(cardW+pending) <= tau*float64(wSegs*st.b) && cardW+pending <= wSegs*(st.b-1) {
+			found = true
+			break
+		}
+	}
+	if found {
+		r.executeRebalance(st, glo, ghi, ins)
+		for i := glo; i < ghi; i++ {
+			st.gates[i].rebUnlock()
+		}
+		p.globalRebalances.Add(1)
+	} else {
+		r.resize(st, glo, ghi, ins, true)
+	}
+	return leftovers
+}
+
+func (r *rebalancer) detachQueue(g *gate) []op {
+	g.mu.Lock()
+	var ops []op
+	if g.q != nil {
+		ops = g.q.ops
+		g.q = nil
+		g.pendingBatch = false
+	}
+	g.mu.Unlock()
+	return ops
+}
+
+// --- data movement ---
+
+// elemSource provides elements in key order for the fill phase.
+type elemSource interface {
+	copyInto(dk, dv []int64)
+}
+
+// gateCursor reads the window's existing elements in key order directly from
+// the (untouched) source buffers — the single-copy path that memory rewiring
+// enables: destinations are spare buffers, sources stay intact until the
+// publish step swaps them.
+type gateCursor struct {
+	st  *state
+	ghi int
+	g   int // current absolute gate
+	s   int // current segment within gate
+	off int // offset within segment
+}
+
+func newGateCursor(st *state, glo, ghi, skip int) *gateCursor {
+	c := &gateCursor{st: st, ghi: ghi, g: glo}
+	for skip > 0 && c.g < ghi {
+		gc := st.gates[c.g].gcard
+		if skip >= gc {
+			skip -= gc
+			c.g++
+			continue
+		}
+		g := st.gates[c.g]
+		for {
+			sc := g.segCard[c.s]
+			if skip >= sc {
+				skip -= sc
+				c.s++
+				continue
+			}
+			c.off = skip
+			return c
+		}
+	}
+	return c
+}
+
+func (c *gateCursor) copyInto(dk, dv []int64) {
+	need := len(dk)
+	pos := 0
+	for pos < need {
+		g := c.st.gates[c.g]
+		if c.s >= g.spg {
+			c.g++
+			c.s, c.off = 0, 0
+			continue
+		}
+		sc := g.segCard[c.s]
+		run := sc - c.off
+		if run <= 0 {
+			c.s++
+			c.off = 0
+			continue
+		}
+		if run > need-pos {
+			run = need - pos
+		}
+		base := c.s*g.b + c.off
+		copy(dk[pos:pos+run], g.buf.Keys[base:base+run])
+		copy(dv[pos:pos+run], g.buf.Vals[base:base+run])
+		c.off += run
+		pos += run
+	}
+}
+
+// sliceSource feeds elements from the master's scratch arrays.
+type sliceSource struct {
+	ks, vs []int64
+	off    int
+}
+
+func (s *sliceSource) copyInto(dk, dv []int64) {
+	n := len(dk)
+	copy(dk, s.ks[s.off:s.off+n])
+	copy(dv, s.vs[s.off:s.off+n])
+	s.off += n
+}
+
+// destPlan is the fully built replacement content for one gate, produced by
+// a worker and published by the master.
+type destPlan struct {
+	buf      *rewire.Buffer
+	segCard  []int
+	smin     []int64
+	gcard    int
+	firstKey int64
+	hasKey   bool
+}
+
+// fillChunk copies elements into a fresh buffer laid out per segCounts and
+// derives the chunk metadata.
+func (r *rebalancer) fillChunk(segCounts []int, b int, src elemSource) destPlan {
+	spg := len(segCounts)
+	pl := destPlan{
+		buf:     r.p.pool.Get(),
+		segCard: make([]int, spg),
+		smin:    make([]int64, spg),
+	}
+	for j, c := range segCounts {
+		base := j * b
+		if c > 0 {
+			src.copyInto(pl.buf.Keys[base:base+c], pl.buf.Vals[base:base+c])
+		}
+		pl.segCard[j] = c
+		pl.gcard += c
+	}
+	inherit := int64(rma.KeyMax)
+	for j := spg - 1; j >= 0; j-- {
+		if pl.segCard[j] > 0 {
+			pl.smin[j] = pl.buf.Keys[j*b]
+			inherit = pl.smin[j]
+		} else {
+			pl.smin[j] = inherit
+		}
+	}
+	if pl.gcard > 0 {
+		pl.firstKey = inherit // after the loop, inherit is the chunk minimum
+		pl.hasKey = true
+	}
+	return pl
+}
+
+// parallel runs the tasks on the worker pool, executing inline when the pool
+// is saturated, and waits for all of them.
+func (r *rebalancer) parallel(tasks []func()) {
+	var wg sync.WaitGroup
+	wg.Add(len(tasks))
+	for _, t := range tasks {
+		t := t
+		select {
+		case r.workCh <- func() { defer wg.Done(); t() }:
+		default:
+			t()
+			wg.Done()
+		}
+	}
+	wg.Wait()
+}
+
+// executeRebalance redistributes gates [glo, ghi) evenly (the traditional
+// policy used for all global rebalances), merging the optional batch inserts
+// in. The master holds all the window's latches.
+func (r *rebalancer) executeRebalance(st *state, glo, ghi int, ins []op) {
+	m := ghi - glo
+	nSegs := m * st.spg
+	plans := make([]destPlan, m)
+
+	if len(ins) == 0 {
+		total := 0
+		for i := glo; i < ghi; i++ {
+			total += st.gates[i].gcard
+		}
+		counts := rma.EvenCounts(total, nSegs)
+		prefix := 0
+		tasks := make([]func(), m)
+		for i := 0; i < m; i++ {
+			i := i
+			segCounts := counts[i*st.spg : (i+1)*st.spg]
+			skip := prefix
+			for _, c := range segCounts {
+				prefix += c
+			}
+			tasks[i] = func() {
+				cur := newGateCursor(st, glo, ghi, skip)
+				plans[i] = r.fillChunk(segCounts, st.b, cur)
+			}
+		}
+		r.parallel(tasks)
+		r.publish(st, glo, ghi, plans)
+		return
+	}
+
+	// Merge path: materialise (existing ∪ inserts) into scratch in
+	// parallel per source gate, then fill destinations from scratch.
+	before := 0
+	for i := glo; i < ghi; i++ {
+		before += st.gates[i].gcard
+	}
+	total := r.materialize(st, glo, ghi, ins, nil)
+	counts := rma.EvenCounts(total, nSegs)
+	tasks := make([]func(), m)
+	prefix := 0
+	for i := 0; i < m; i++ {
+		i := i
+		segCounts := counts[i*st.spg : (i+1)*st.spg]
+		skip := prefix
+		for _, c := range segCounts {
+			prefix += c
+		}
+		tasks[i] = func() {
+			src := &sliceSource{ks: r.scratchK, vs: r.scratchV, off: skip}
+			plans[i] = r.fillChunk(segCounts, st.b, src)
+		}
+	}
+	r.parallel(tasks)
+	st.card.Add(int64(total - before))
+	r.publish(st, glo, ghi, plans)
+}
+
+// materialize merges each source gate's elements with its slice of the
+// sorted batch inserts (minus deletes, when given) into the master's scratch
+// arrays, in parallel, and returns the total element count.
+func (r *rebalancer) materialize(st *state, glo, ghi int, ins []op, dels []int64) int {
+	m := ghi - glo
+	counts := make([]int, m)
+	countTasks := make([]func(), m)
+	for i := 0; i < m; i++ {
+		i := i
+		g := st.gates[glo+i]
+		gIns := opRange(ins, g.fenceLo, g.fenceHi)
+		gDels := keyRange(dels, g.fenceLo, g.fenceHi)
+		countTasks[i] = func() { counts[i] = countMerged(g, gIns, gDels) }
+	}
+	r.parallel(countTasks)
+
+	total := 0
+	offsets := make([]int, m)
+	for i, c := range counts {
+		offsets[i] = total
+		total += c
+	}
+	if cap(r.scratchK) < total {
+		r.scratchK = make([]int64, total)
+		r.scratchV = make([]int64, total)
+	}
+	r.scratchK = r.scratchK[:total]
+	r.scratchV = r.scratchV[:total]
+
+	writeTasks := make([]func(), m)
+	for i := 0; i < m; i++ {
+		i := i
+		g := st.gates[glo+i]
+		gIns := opRange(ins, g.fenceLo, g.fenceHi)
+		gDels := keyRange(dels, g.fenceLo, g.fenceHi)
+		off, end := offsets[i], offsets[i]+counts[i]
+		writeTasks[i] = func() {
+			mergeInto(r.scratchK[off:end], r.scratchV[off:end], g, gIns, gDels)
+		}
+	}
+	r.parallel(writeTasks)
+	return total
+}
+
+// publish swaps the freshly built buffers into the window's gates, updates
+// fence keys right-to-left (interior boundaries move to the first key now
+// stored in each gate; the window's outer boundaries are preserved), mirrors
+// the new separators into the static index, and recycles the old buffers —
+// the O(1) "rewiring" step.
+func (r *rebalancer) publish(st *state, glo, ghi int, plans []destPlan) {
+	now := time.Now().UnixNano()
+	nextLo := int64(rma.KeyMax)
+	if ghi < len(st.gates) {
+		nextLo = st.gates[ghi].fenceLo
+	}
+	for i := ghi - 1; i >= glo; i-- {
+		g := st.gates[i]
+		pl := plans[i-glo]
+		old := g.buf
+		g.buf = pl.buf
+		g.segCard = pl.segCard
+		g.smin = pl.smin
+		g.gcard = pl.gcard
+		r.p.pool.Put(old)
+		if nextLo == rma.KeyMax {
+			g.fenceHi = rma.KeyMax
+		} else {
+			g.fenceHi = nextLo - 1
+		}
+		if i > glo {
+			lo := nextLo
+			if pl.hasKey {
+				lo = pl.firstKey
+			}
+			g.fenceLo = lo
+			st.index.Set(i, lo)
+		}
+		g.rebGen++
+		g.lastReb = now
+		nextLo = g.fenceLo
+	}
+}
+
+// --- resizes (Section 3.4) ---
+
+// resize rebuilds the whole sparse array at a new capacity, absorbing every
+// combining queue, publishes the new state and invalidates the old gates.
+// The master already holds latches for gates [heldLo, heldHi); resize
+// acquires the rest, and releases everything before returning.
+func (r *rebalancer) resize(st *state, heldLo, heldHi int, ins []op, grow bool) {
+	p := r.p
+	for i := 0; i < heldLo; i++ {
+		st.gates[i].rebLock()
+	}
+	for i := heldHi; i < len(st.gates); i++ {
+		st.gates[i].rebLock()
+	}
+
+	// Fold every pending queue into the rebuild. Request inserts are
+	// older than queued ops, so they are compacted first.
+	allOps := make([]op, 0, len(ins))
+	for _, o := range ins {
+		allOps = append(allOps, o)
+	}
+	for _, g := range st.gates {
+		allOps = append(allOps, r.detachQueue(g)...)
+	}
+	finalIns, finalDels, _ := compactOps(allOps, rma.KeyMin+1, rma.KeyMax-1)
+
+	total := r.materialize(st, 0, len(st.gates), finalIns, finalDels)
+
+	target := (p.cfg.RhoRoot + p.cfg.TauRoot) / 2
+	newSegs := nextPow2(ceilDiv(max(total, 1), int(float64(st.b)*target)))
+	if newSegs < st.spg {
+		newSegs = st.spg
+	}
+	if grow {
+		if newSegs < st.numSegs*2 {
+			newSegs = st.numSegs * 2
+		}
+	} else if newSegs >= st.numSegs || float64(total) > (p.cfg.TauRoot-0.05)*float64(newSegs*st.b) {
+		// The shrink is no longer worthwhile (pending inserts absorbed
+		// from the combining queues inflated the count, or the margin
+		// guard against grow/shrink thrash fired). The queues are
+		// already detached, so their updates MUST be applied: rebuild
+		// in place (a whole-array rebalance merging the batch) unless
+		// nothing was absorbed, in which case releasing is safe.
+		if len(finalIns) == 0 && len(finalDels) == 0 {
+			for _, g := range st.gates {
+				g.rebUnlock()
+			}
+			return
+		}
+		if newSegs < st.numSegs {
+			newSegs = st.numSegs
+		}
+	}
+
+	newSt := p.newState(newSegs / st.spg)
+	counts := rma.EvenCounts(total, newSegs)
+	mNew := len(newSt.gates)
+	plans := make([]destPlan, mNew)
+	tasks := make([]func(), mNew)
+	prefix := 0
+	for i := 0; i < mNew; i++ {
+		i := i
+		segCounts := counts[i*st.spg : (i+1)*st.spg]
+		skip := prefix
+		for _, c := range segCounts {
+			prefix += c
+		}
+		tasks[i] = func() {
+			src := &sliceSource{ks: r.scratchK, vs: r.scratchV, off: skip}
+			plans[i] = r.fillChunk(segCounts, st.b, src)
+		}
+	}
+	r.parallel(tasks)
+
+	// Install plans and fences on the new state (not yet visible).
+	nextLo := int64(rma.KeyMax)
+	for i := mNew - 1; i >= 0; i-- {
+		g := newSt.gates[i]
+		p.pool.Put(g.buf) // replace the placeholder buffer from newState
+		pl := plans[i]
+		g.buf = pl.buf
+		g.segCard = pl.segCard
+		g.smin = pl.smin
+		g.gcard = pl.gcard
+		if nextLo == rma.KeyMax {
+			g.fenceHi = rma.KeyMax
+		} else {
+			g.fenceHi = nextLo - 1
+		}
+		lo := nextLo
+		if pl.hasKey {
+			lo = pl.firstKey
+		}
+		if i == 0 {
+			lo = rma.KeyMin
+		}
+		g.fenceLo = lo
+		newSt.index.Set(i, lo)
+		nextLo = lo
+	}
+	newSt.card.Store(int64(total))
+
+	p.state.Store(newSt)
+
+	// Invalidate and release the old gates; waiting clients observe the
+	// invalid flag and restart against the new state in a fresh epoch.
+	for _, g := range st.gates {
+		g.mu.Lock()
+		g.invalid = true
+		g.lstate = lsFree
+		g.cond.Broadcast()
+		g.mu.Unlock()
+		p.pool.Put(g.buf)
+	}
+	p.epochs.Retire(func() {})
+	p.resizes.Add(1)
+}
+
+// maybeShrink re-validates the downsize condition and performs the resize.
+// The cheap pre-check on the applied cardinality avoids latching the world
+// (and detaching every combining queue) when the shrink could not possibly
+// materialise — e.g. right after a growth whose power-of-two rounding left
+// the density just under 50%.
+func (r *rebalancer) maybeShrink() {
+	p := r.p
+	st := p.state.Load()
+	if st.numSegs <= st.spg {
+		return
+	}
+	card := int(st.card.Load())
+	if card*2 >= st.slots() {
+		return
+	}
+	target := (p.cfg.RhoRoot + p.cfg.TauRoot) / 2
+	needSegs := nextPow2(ceilDiv(max(card, 1), int(float64(st.b)*target)))
+	if needSegs < st.spg {
+		needSegs = st.spg
+	}
+	if needSegs >= st.numSegs || float64(card) > (p.cfg.TauRoot-0.05)*float64(needSegs*st.b) {
+		return
+	}
+	r.resize(st, 0, 0, nil, false)
+}
+
+// --- merge helpers ---
+
+// opRange returns the subslice of key-sorted ops with keys in [lo, hi].
+func opRange(ops []op, lo, hi int64) []op {
+	a := sort.Search(len(ops), func(i int) bool { return ops[i].key >= lo })
+	b := sort.Search(len(ops), func(i int) bool { return ops[i].key > hi })
+	return ops[a:b]
+}
+
+// keyRange returns the subslice of sorted keys in [lo, hi].
+func keyRange(ks []int64, lo, hi int64) []int64 {
+	a := sort.Search(len(ks), func(i int) bool { return ks[i] >= lo })
+	b := sort.Search(len(ks), func(i int) bool { return ks[i] > hi })
+	return ks[a:b]
+}
+
+// countMerged computes |(existing \ dels) ∪ ins| for one gate without
+// allocating. ins and dels are key-disjoint (compactOps keeps one final op
+// per key).
+func countMerged(g *gate, ins []op, dels []int64) int {
+	count := g.gcard + len(ins)
+	i, j := 0, 0
+	forEachKey(g, func(k int64) {
+		for i < len(ins) && ins[i].key < k {
+			i++
+		}
+		if i < len(ins) && ins[i].key == k {
+			count-- // upsert: not a new element
+			i++
+			return
+		}
+		for j < len(dels) && dels[j] < k {
+			j++
+		}
+		if j < len(dels) && dels[j] == k {
+			count-- // deleted existing element
+			j++
+		}
+	})
+	return count
+}
+
+// mergeInto writes (existing \ dels) ∪ ins for one gate into dk/dv in key
+// order. The destination length must equal countMerged's result.
+func mergeInto(dk, dv []int64, g *gate, ins []op, dels []int64) {
+	pos, i, j := 0, 0, 0
+	forEachPair(g, func(k, v int64) {
+		for i < len(ins) && ins[i].key < k {
+			dk[pos], dv[pos] = ins[i].key, ins[i].val
+			pos++
+			i++
+		}
+		if i < len(ins) && ins[i].key == k {
+			dk[pos], dv[pos] = ins[i].key, ins[i].val // upsert replaces
+			pos++
+			i++
+			return
+		}
+		for j < len(dels) && dels[j] < k {
+			j++
+		}
+		if j < len(dels) && dels[j] == k {
+			j++ // drop the deleted element
+			return
+		}
+		dk[pos], dv[pos] = k, v
+		pos++
+	})
+	for ; i < len(ins); i++ {
+		dk[pos], dv[pos] = ins[i].key, ins[i].val
+		pos++
+	}
+}
+
+// forEachKey visits the gate's stored keys in order.
+func forEachKey(g *gate, fn func(k int64)) {
+	for s := 0; s < g.spg; s++ {
+		base := s * g.b
+		for i, c := 0, g.segCard[s]; i < c; i++ {
+			fn(g.buf.Keys[base+i])
+		}
+	}
+}
+
+// forEachPair visits the gate's stored pairs in order.
+func forEachPair(g *gate, fn func(k, v int64)) {
+	for s := 0; s < g.spg; s++ {
+		base := s * g.b
+		for i, c := 0, g.segCard[s]; i < c; i++ {
+			fn(g.buf.Keys[base+i], g.buf.Vals[base+i])
+		}
+	}
+}
+
+func nextPow2(v int) int {
+	if v <= 1 {
+		return 1
+	}
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"pmago/internal/rma"
+)
+
+// Validate checks the structural invariants of the whole concurrent PMA:
+// per-chunk ordering and metadata, fence-key containment and tiling across
+// gates, index separators mirroring the fences, and the global cardinality.
+// It must be called while no updates are in flight (tests quiesce first);
+// reads may continue.
+func (p *PMA) Validate() error {
+	st := p.state.Load()
+	total := 0
+	prevKey := int64(rma.KeyMin)
+	var prevHi int64 // tiling check only applies from gate 1 onward
+	for gi, g := range st.gates {
+		g.lockShared()
+		err := func() error {
+			if g.invalid {
+				return fmt.Errorf("gate %d invalid in current state", gi)
+			}
+			if g.idx != gi {
+				return fmt.Errorf("gate %d has idx %d", gi, g.idx)
+			}
+			if gi == 0 && g.fenceLo != rma.KeyMin {
+				return fmt.Errorf("gate 0 fenceLo = %d, want KeyMin", g.fenceLo)
+			}
+			if gi == len(st.gates)-1 && g.fenceHi != rma.KeyMax {
+				return fmt.Errorf("last gate fenceHi = %d, want KeyMax", g.fenceHi)
+			}
+			if gi > 0 && g.fenceLo != prevHi+1 {
+				return fmt.Errorf("gate %d fenceLo %d does not tile with previous fenceHi %d", gi, g.fenceLo, prevHi)
+			}
+			if sep := st.index.Get(gi); gi > 0 && sep != g.fenceLo {
+				return fmt.Errorf("gate %d index separator %d != fenceLo %d", gi, sep, g.fenceLo)
+			}
+			gtotal := 0
+			inherit := int64(rma.KeyMax)
+			for s := g.spg - 1; s >= 0; s-- {
+				c := g.segCard[s]
+				if c < 0 || c > g.b {
+					return fmt.Errorf("gate %d segment %d cardinality %d", gi, s, c)
+				}
+				if c > 0 {
+					if g.smin[s] != g.buf.Keys[s*g.b] {
+						return fmt.Errorf("gate %d segment %d cached min mismatch", gi, s)
+					}
+					inherit = g.smin[s]
+				} else if g.smin[s] != inherit {
+					return fmt.Errorf("gate %d empty segment %d min not inherited", gi, s)
+				}
+				gtotal += c
+			}
+			if gtotal != g.gcard {
+				return fmt.Errorf("gate %d gcard %d != segment sum %d", gi, g.gcard, gtotal)
+			}
+			for s := 0; s < g.spg; s++ {
+				base := s * g.b
+				for i := 0; i < g.segCard[s]; i++ {
+					k := g.buf.Keys[base+i]
+					if k <= prevKey {
+						return fmt.Errorf("gate %d segment %d offset %d: key %d after %d", gi, s, i, k, prevKey)
+					}
+					if k < g.fenceLo || k > g.fenceHi {
+						return fmt.Errorf("gate %d key %d outside fences [%d,%d]", gi, k, g.fenceLo, g.fenceHi)
+					}
+					prevKey = k
+				}
+			}
+			total += gtotal
+			prevHi = g.fenceHi
+			return nil
+		}()
+		g.unlockShared()
+		if err != nil {
+			return err
+		}
+	}
+	if int64(total) != st.card.Load() {
+		return fmt.Errorf("element sum %d != recorded cardinality %d", total, st.card.Load())
+	}
+	return nil
+}
+
+// QueuedOps reports how many updates are currently sitting in combining
+// queues (diagnostic; racy by nature).
+func (p *PMA) QueuedOps() int {
+	st := p.state.Load()
+	n := 0
+	for _, g := range st.gates {
+		g.mu.Lock()
+		if g.q != nil {
+			n += len(g.q.ops)
+		}
+		g.mu.Unlock()
+	}
+	return n
+}

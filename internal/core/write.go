@@ -1,0 +1,235 @@
+package core
+
+import (
+	"pmago/internal/epoch"
+	"pmago/internal/rma"
+)
+
+// op is one pending update, as stored in a combining queue.
+type op struct {
+	key int64
+	val int64
+	del bool
+}
+
+// opQueue is the paper's Qw, reached through the gate's pQ pointer. It is
+// guarded by the owning gate's mu.
+type opQueue struct {
+	ops []op
+}
+
+// lockResult describes how lockForWrite resolved.
+type lockResult int
+
+const (
+	lockAcquired lockResult = iota // caller holds the gate exclusively
+	lockEnqueued                   // op was absorbed into the active writer's queue
+	lockInvalid                    // gate belongs to a retired state; reload
+)
+
+// lockForWrite implements the writer-side gate protocol of Section 3.5: if a
+// combining queue is installed (an active writer, or a batch pending at the
+// rebalancer), the update is appended and the call returns immediately;
+// otherwise the caller acquires the latch exclusively. The caller installs
+// its own queue only after verifying the fences (runWriter), matching the
+// paper: a writer first reaches its gate, then publishes pQ.
+func (p *PMA) lockForWrite(g *gate, o op) lockResult {
+	async := p.cfg.Mode != ModeSync
+	g.mu.Lock()
+	g.wWaiting++ // readers yield while an update is pending here
+	for {
+		if g.invalid {
+			g.wWaiting--
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			return lockInvalid
+		}
+		if async && g.q != nil {
+			g.q.ops = append(g.q.ops, o)
+			g.wWaiting--
+			g.cond.Broadcast()
+			g.mu.Unlock()
+			p.combinedOps.Add(1)
+			return lockEnqueued
+		}
+		if g.lstate == lsFree && !g.rebWanted {
+			g.wWaiting--
+			g.lstate = lsWriter
+			g.mu.Unlock()
+			return lockAcquired
+		}
+		g.cond.Wait()
+	}
+}
+
+// releaseWriter drops the exclusive latch; in async modes the caller must
+// have emptied and detached the queue first (drainQueue does).
+func (g *gate) releaseWriter() {
+	g.mu.Lock()
+	g.lstate = lsFree
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// Put inserts or replaces k/v. In the asynchronous modes the update may be
+// deferred: it is guaranteed to be applied before a Flush returns, but an
+// immediately following Get may not observe it.
+func (p *PMA) Put(k, v int64) {
+	if k == rma.KeyMin || k == rma.KeyMax {
+		panic("core: cannot store sentinel key")
+	}
+	guard := p.epochs.Enter()
+	defer guard.Leave()
+	p.update(op{key: k, val: v}, guard)
+}
+
+// Delete removes k. The result reports whether an element was removed
+// synchronously; a deferred (combined) delete returns true optimistically,
+// matching the fire-and-forget semantics of Section 3.5.
+func (p *PMA) Delete(k int64) bool {
+	if k == rma.KeyMin || k == rma.KeyMax {
+		return false
+	}
+	guard := p.epochs.Enter()
+	defer guard.Leave()
+	return p.update(op{key: k, del: true}, guard)
+}
+
+// update routes one update to its gate and applies it according to the
+// configured mode. It restarts across resizes and walks neighbour gates when
+// a racy index read landed it wrongly.
+func (p *PMA) update(o op, guard *epoch.Guard) bool {
+	for {
+		st := p.state.Load()
+		gi := clampGate(st.index.Lookup(o.key), len(st.gates))
+	walk:
+		for {
+			g := st.gates[gi]
+			switch p.lockForWrite(g, o) {
+			case lockEnqueued:
+				return true
+			case lockInvalid:
+				break walk
+			}
+			// Holding the latch: verify the fences (Section 3.2).
+			if g.invalid {
+				p.abandonWriter(g)
+				break walk
+			}
+			if o.key < g.fenceLo && gi > 0 {
+				p.abandonWriter(g)
+				gi--
+				continue
+			}
+			if o.key > g.fenceHi && gi < len(st.gates)-1 {
+				p.abandonWriter(g)
+				gi++
+				continue
+			}
+			done, res := p.runWriter(st, g, o, guard)
+			if done {
+				return res
+			}
+			break walk // a global rebalance intervened; retry from the top
+		}
+		guard.Refresh()
+	}
+}
+
+// abandonWriter releases a just-acquired exclusive latch (no queue was
+// installed yet).
+func (p *PMA) abandonWriter(g *gate) {
+	g.releaseWriter()
+}
+
+// runWriter applies op o while holding gate g exclusively, then (in async
+// modes) drains the combining queue. It returns done=false when a global
+// rebalance was necessary and the caller must re-route the operation.
+func (p *PMA) runWriter(st *state, g *gate, o op, guard *epoch.Guard) (done, result bool) {
+	switch p.cfg.Mode {
+	case ModeSync:
+		return p.applySync(st, g, o)
+	default:
+		// Become the gate's active writer: publish pQ (waking writers
+		// blocked in lockForWrite so they can combine), seed it with
+		// our own op, and drain. Our op heads the queue, so its
+		// outcome is determined by the state at latch acquisition.
+		result = true
+		if o.del {
+			_, result = g.get(o.key)
+		}
+		g.mu.Lock()
+		g.q = &opQueue{ops: []op{o}}
+		g.cond.Broadcast()
+		g.mu.Unlock()
+		p.drainQueue(st, g, guard)
+		return true, result
+	}
+}
+
+// applySync is the baseline path: apply in place or transfer the latch to
+// the rebalancer and wait (Section 3.3).
+func (p *PMA) applySync(st *state, g *gate, o op) (done, result bool) {
+	if o.del {
+		deleted := g.del(o.key)
+		if deleted {
+			st.card.Add(-1)
+		}
+		g.releaseWriter()
+		p.maybeRequestShrink(st)
+		return true, deleted
+	}
+	switch g.put(st, o.key, o.val) {
+	case putReplaced:
+		g.releaseWriter()
+		return true, true
+	case putInserted:
+		st.card.Add(1)
+		g.releaseWriter()
+		return true, true
+	default: // putNeedsGlobal
+		p.requestGlobalAndWait(st, g, 1)
+		return false, false
+	}
+}
+
+// requestGlobalAndWait transfers the caller's exclusive latch to the
+// rebalancer, asks it to rebalance around g, and blocks until done.
+func (p *PMA) requestGlobalAndWait(st *state, g *gate, pending int) {
+	req := &request{
+		kind:    reqRebalance,
+		st:      st,
+		g:       g,
+		gen:     g.rebGen,
+		pending: pending,
+		done:    make(chan struct{}),
+	}
+	g.transferToReb()
+	p.reb.submit(req)
+	<-req.done
+}
+
+// maybeRequestShrink notifies the rebalancer (once) when occupancy dropped
+// below the 50% downsizing threshold of the evaluation configuration.
+func (p *PMA) maybeRequestShrink(st *state) {
+	if st.numSegs <= st.spg {
+		return
+	}
+	if st.card.Load()*2 >= int64(st.slots()) {
+		return
+	}
+	if p.shrinkPending.Swap(true) {
+		return
+	}
+	p.reb.submit(&request{kind: reqShrink, st: st})
+}
+
+func clampGate(gi, n int) int {
+	if gi < 0 {
+		return 0
+	}
+	if gi >= n {
+		return n - 1
+	}
+	return gi
+}

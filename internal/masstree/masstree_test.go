@@ -1,0 +1,265 @@
+package masstree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestPermutationWord(t *testing.T) {
+	p := permIdentity()
+	if permCount(p) != 0 {
+		t.Fatal("identity count != 0")
+	}
+	// Insert slots at ranks 0,0,1 -> three live ranks.
+	p, s0 := permInsert(p, 0)
+	p, s1 := permInsert(p, 0)
+	p, s2 := permInsert(p, 1)
+	if permCount(p) != 3 {
+		t.Fatalf("count = %d", permCount(p))
+	}
+	if s0 == s1 || s1 == s2 || s0 == s2 {
+		t.Fatal("slots not distinct")
+	}
+	if permSlot(p, 0) != s1 || permSlot(p, 1) != s2 || permSlot(p, 2) != s0 {
+		t.Fatalf("rank order wrong: %d %d %d", permSlot(p, 0), permSlot(p, 1), permSlot(p, 2))
+	}
+	// Remove the middle rank; slot returns to the free list and the word
+	// stays a permutation of 0..14.
+	p = permRemove(p, 1)
+	if permCount(p) != 2 {
+		t.Fatalf("count after remove = %d", permCount(p))
+	}
+	seen := map[int]bool{}
+	for i := 0; i < Fanout; i++ {
+		s := permSlot(p, i)
+		if seen[s] {
+			t.Fatalf("slot %d duplicated", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestBasic(t *testing.T) {
+	tr := New()
+	tr.Put(5, 50)
+	tr.Put(3, 30)
+	if v, ok := tr.Get(5); !ok || v != 50 {
+		t.Fatalf("Get(5) = %d,%v", v, ok)
+	}
+	if _, ok := tr.Get(4); ok {
+		t.Fatal("absent key found")
+	}
+	tr.Put(5, 51)
+	if v, _ := tr.Get(5); v != 51 {
+		t.Fatal("upsert failed")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if !tr.Delete(5) || tr.Delete(5) {
+		t.Fatal("delete semantics wrong")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitsBothDirections(t *testing.T) {
+	for _, asc := range []bool{true, false} {
+		tr := New()
+		const n = 10_000
+		for i := int64(0); i < n; i++ {
+			k := i
+			if !asc {
+				k = n - 1 - i
+			}
+			tr.Put(k, k*2)
+		}
+		keys := tr.Keys()
+		if len(keys) != n {
+			t.Fatalf("asc=%v: %d keys", asc, len(keys))
+		}
+		for i, k := range keys {
+			if k != int64(i) {
+				t.Fatalf("asc=%v: keys[%d] = %d", asc, i, k)
+			}
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("asc=%v: %v", asc, err)
+		}
+	}
+}
+
+func TestModelRandom(t *testing.T) {
+	tr := New()
+	model := map[int64]int64{}
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 60_000; i++ {
+		k := int64(rng.Intn(4000)) - 2000
+		switch rng.Intn(10) {
+		case 0, 1, 2:
+			want := false
+			if _, ok := model[k]; ok {
+				want = true
+				delete(model, k)
+			}
+			if got := tr.Delete(k); got != want {
+				t.Fatalf("op %d: Delete(%d) = %v want %v", i, k, got, want)
+			}
+		case 3:
+			wv, wok := model[k]
+			gv, gok := tr.Get(k)
+			if gok != wok || (gok && gv != wv) {
+				t.Fatalf("op %d: Get(%d) mismatch", i, k)
+			}
+		default:
+			v := rng.Int63()
+			model[k] = v
+			tr.Put(k, v)
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", tr.Len(), len(model))
+	}
+	want := make([]int64, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	got := tr.Keys()
+	if len(got) != len(want) {
+		t.Fatalf("scan %d keys want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("key[%d] = %d want %d", i, got[i], want[i])
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanRangeAndEarlyStop(t *testing.T) {
+	tr := New()
+	for i := int64(0); i < 2000; i++ {
+		tr.Put(i*10, i)
+	}
+	var got []int64
+	tr.Scan(95, 205, func(k, _ int64) bool { got = append(got, k); return true })
+	want := []int64{100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	count := 0
+	tr.ScanAll(func(_, _ int64) bool { count++; return count < 3 })
+	if count != 3 {
+		t.Fatalf("early stop visited %d", count)
+	}
+}
+
+func TestConcurrentDisjoint(t *testing.T) {
+	tr := New()
+	const workers = 8
+	const per = 5_000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := int64(w * per)
+			for i := int64(0); i < per; i++ {
+				tr.Put(base+i, base+i)
+				if v, ok := tr.Get(base + i); !ok || v != base+i {
+					t.Errorf("read-own-write failed at %d", base+i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != workers*per {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentMixedWithScans(t *testing.T) {
+	tr := New()
+	stop := make(chan struct{})
+	var scanners sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		scanners.Add(1)
+		go func() {
+			defer scanners.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				prev := int64(-1 << 62)
+				tr.ScanAll(func(k, _ int64) bool {
+					if k <= prev {
+						t.Errorf("scan order violation: %d after %d", k, prev)
+						return false
+					}
+					prev = k
+					return true
+				})
+			}
+		}()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 20_000; i++ {
+				k := int64(rng.Intn(5_000))
+				switch rng.Intn(4) {
+				case 0:
+					tr.Delete(k)
+				case 1:
+					tr.Get(k)
+				default:
+					tr.Put(k, k)
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	scanners.Wait()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSkewedContention(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 10_000; i++ {
+				k := int64(rng.Intn(100))
+				tr.Put(k, k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

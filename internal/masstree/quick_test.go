@@ -1,0 +1,78 @@
+package masstree
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+type opSeq struct{ ops []modelOp }
+
+type modelOp struct {
+	kind byte
+	key  int64
+	val  int64
+}
+
+func (opSeq) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 200 + r.Intn(2000)
+	domain := int64(1 + r.Intn(800))
+	ops := make([]modelOp, n)
+	for i := range ops {
+		ops[i] = modelOp{kind: byte(r.Intn(3)), key: r.Int63n(domain) - domain/3, val: r.Int63()}
+	}
+	return reflect.ValueOf(opSeq{ops})
+}
+
+func TestQuickModelEquivalence(t *testing.T) {
+	property := func(seq opSeq) bool {
+		tr := New()
+		model := map[int64]int64{}
+		for _, o := range seq.ops {
+			switch o.kind {
+			case 0:
+				tr.Put(o.key, o.val)
+				model[o.key] = o.val
+			case 1:
+				_, want := model[o.key]
+				delete(model, o.key)
+				if tr.Delete(o.key) != want {
+					return false
+				}
+			case 2:
+				wv, wok := model[o.key]
+				gv, gok := tr.Get(o.key)
+				if gok != wok || (gok && gv != wv) {
+					return false
+				}
+			}
+		}
+		if tr.Len() != len(model) {
+			return false
+		}
+		if err := tr.Validate(); err != nil {
+			t.Log(err)
+			return false
+		}
+		want := make([]int64, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := tr.Keys()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

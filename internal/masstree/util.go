@@ -1,0 +1,7 @@
+package masstree
+
+import "fmt"
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("masstree: "+format, args...)
+}

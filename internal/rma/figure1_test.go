@@ -1,0 +1,78 @@
+package rma
+
+import "testing"
+
+// TestFigure1Rebalance pins the worked example of the paper's Figure 1: a
+// sparse array with 4 segments of capacity 4 holding
+//
+//	[10 11 12 13] [20 21 22 _] [30 _ _ _] [40 41 42 43]
+//
+// After segment 3 (index 2) is invalidated by a deletion, the calibrator
+// traversal climbs past the level-2 window (density 0.625, at its lower
+// threshold) up to the root (density 0.75, within [0.75, 0.75]), so the whole
+// array is rebalanced. Figure 1b shows the traditional outcome: three
+// elements per segment.
+func TestFigure1Rebalance(t *testing.T) {
+	cfg := TheoreticalConfig()
+	cfg.SegmentCapacity = 4
+	p := New(cfg)
+	p.alloc(4)
+
+	load := func(s int, keys ...int64) {
+		base := s * 4
+		for i, k := range keys {
+			p.keys[base+i] = k
+			p.vals[base+i] = k * 100
+		}
+		p.card[s] = len(keys)
+		p.smin[s] = keys[0]
+	}
+	load(0, 10, 11, 12, 13)
+	load(1, 20, 21, 22)
+	load(2, 30)
+	load(3, 40, 41, 42, 43)
+	p.n = 12
+	if err := p.Validate(); err != nil {
+		t.Fatalf("precondition: %v", err)
+	}
+
+	// The traversal of Figure 1a: the level-2 window over segments 3-4
+	// holds 5 of 8 slots (0.625) and is rejected, the root (12/16 = 0.75)
+	// accepted.
+	ws, we, ok := p.findDeleteWindow(2)
+	if !ok {
+		t.Fatal("no rebalance window found; expected the root window")
+	}
+	if ws != 0 || we != 4 {
+		t.Fatalf("window = [%d,%d), want the whole array [0,4)", ws, we)
+	}
+
+	p.rebalance(ws, we)
+
+	wantCards := []int{3, 3, 3, 3}
+	for s, want := range wantCards {
+		if p.card[s] != want {
+			t.Fatalf("segment %d cardinality = %d, want %d", s, p.card[s], want)
+		}
+	}
+	wantLayout := [][]int64{
+		{10, 11, 12},
+		{13, 20, 21},
+		{22, 30, 40},
+		{41, 42, 43},
+	}
+	for s, want := range wantLayout {
+		keys, vals := p.segSlice(s)
+		for i, k := range want {
+			if keys[i] != k {
+				t.Fatalf("segment %d slot %d = %d, want %d (Figure 1b)", s, i, keys[i], k)
+			}
+			if vals[i] != k*100 {
+				t.Fatalf("segment %d slot %d value = %d, want %d", s, i, vals[i], k*100)
+			}
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

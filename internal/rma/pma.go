@@ -1,0 +1,277 @@
+package rma
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// KeyMin and KeyMax are reserved sentinel keys (used as -inf / +inf fence
+// keys by the concurrent layer); they cannot be stored in a PMA.
+const (
+	KeyMin = math.MinInt64
+	KeyMax = math.MaxInt64
+)
+
+// Stats counts structural events; useful for the ablation experiments and for
+// asserting behaviour in tests.
+type Stats struct {
+	Rebalances     int64 // number of window rebalances (any level)
+	RebalancedSegs int64 // total segments touched by rebalances
+	Resizes        int64 // number of capacity changes (grow + shrink)
+	ElementsMoved  int64 // elements copied during rebalances and resizes
+}
+
+// PMA is a sequential packed memory array storing int64 key/value pairs in
+// sorted key order. It is not safe for concurrent use; the concurrent layer
+// in internal/core builds on the same algorithms with gates and latches.
+type PMA struct {
+	cfg Config
+
+	keys []int64 // len == capacity; segment i occupies [i*B, (i+1)*B)
+	vals []int64
+	card []int   // per-segment cardinality
+	smin []int64 // per-segment minimum key; empty segments inherit the right neighbour
+
+	numSegs int // power of two
+	n       int // total number of elements
+
+	pred  *Predictor
+	stats Stats
+
+	scratchK []int64 // reusable buffers for rebalances
+	scratchV []int64
+}
+
+// New returns an empty PMA with the given configuration, starting at a single
+// segment. It panics if the configuration is invalid (programmer error).
+func New(cfg Config) *PMA {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p := &PMA{cfg: cfg}
+	if cfg.Adaptive {
+		p.pred = NewPredictor(cfg.PredictorSize)
+	}
+	p.alloc(1)
+	return p
+}
+
+// NewFromSorted bulk-loads a PMA from key-sorted, duplicate-free pairs at
+// roughly (rho_h+tau_h)/2 density. It panics if keys are not strictly
+// ascending or contain sentinels.
+func NewFromSorted(cfg Config, keys, vals []int64) *PMA {
+	if len(keys) != len(vals) {
+		panic("rma: NewFromSorted key/value length mismatch")
+	}
+	p := New(cfg)
+	if len(keys) == 0 {
+		return p
+	}
+	target := (cfg.RhoRoot + cfg.TauRoot) / 2
+	segs := nextPow2(ceilDiv(len(keys), int(float64(cfg.SegmentCapacity)*target)))
+	// Guarantee the load fits under tau_h so the next insert does not
+	// immediately resize.
+	for float64(len(keys)) > cfg.TauRoot*float64(segs*cfg.SegmentCapacity) {
+		segs *= 2
+	}
+	p.alloc(segs)
+	p.n = len(keys)
+	p.spreadFrom(0, segs, keys, vals, nil)
+	if err := p.checkSortedInput(keys); err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *PMA) checkSortedInput(keys []int64) error {
+	for i, k := range keys {
+		if k == KeyMin || k == KeyMax {
+			return fmt.Errorf("rma: sentinel key at position %d", i)
+		}
+		if i > 0 && keys[i-1] >= k {
+			return fmt.Errorf("rma: keys not strictly ascending at position %d", i)
+		}
+	}
+	return nil
+}
+
+// alloc resizes the backing arrays to the given number of segments and resets
+// all bookkeeping; the caller is responsible for repopulating elements.
+func (p *PMA) alloc(segs int) {
+	b := p.cfg.SegmentCapacity
+	p.numSegs = segs
+	p.keys = make([]int64, segs*b)
+	p.vals = make([]int64, segs*b)
+	p.card = make([]int, segs)
+	p.smin = make([]int64, segs)
+	for i := range p.smin {
+		p.smin[i] = KeyMax
+	}
+	if cap(p.scratchK) < segs*b {
+		p.scratchK = make([]int64, segs*b)
+		p.scratchV = make([]int64, segs*b)
+	}
+}
+
+// Len returns the number of elements stored.
+func (p *PMA) Len() int { return p.n }
+
+// Capacity returns the total number of slots (segments x segment capacity).
+func (p *PMA) Capacity() int { return p.numSegs * p.cfg.SegmentCapacity }
+
+// NumSegments returns the current number of segments.
+func (p *PMA) NumSegments() int { return p.numSegs }
+
+// Density returns the overall fill factor.
+func (p *PMA) Density() float64 {
+	if p.Capacity() == 0 {
+		return 0
+	}
+	return float64(p.n) / float64(p.Capacity())
+}
+
+// Stats returns a snapshot of the structural-event counters.
+func (p *PMA) Stats() Stats { return p.stats }
+
+// height returns the calibrator tree height h for the current number of
+// segments (leaves are height 1).
+func (p *PMA) height() int { return log2(p.numSegs) + 1 }
+
+// findSegment returns the index of the segment whose key range contains k:
+// the rightmost segment whose minimum is <= k, or segment 0 when k precedes
+// every stored key.
+func (p *PMA) findSegment(k int64) int {
+	// smin is non-decreasing (empty segments inherit the right
+	// neighbour's minimum), so binary search applies directly.
+	lo, hi := 0, p.numSegs // invariant: smin[lo-1] <= k < smin[hi]
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if p.smin[mid] <= k {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return 0
+	}
+	return lo - 1
+}
+
+// segSlice returns the occupied portion of segment s.
+func (p *PMA) segSlice(s int) (keys, vals []int64) {
+	b := p.cfg.SegmentCapacity
+	return p.keys[s*b : s*b+p.card[s]], p.vals[s*b : s*b+p.card[s]]
+}
+
+// Get returns the value stored under k.
+func (p *PMA) Get(k int64) (int64, bool) {
+	if p.n == 0 {
+		return 0, false
+	}
+	s := p.findSegment(k)
+	keys, vals := p.segSlice(s)
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	if i < len(keys) && keys[i] == k {
+		return vals[i], true
+	}
+	return 0, false
+}
+
+// Min returns the smallest stored key, or ok=false when empty.
+func (p *PMA) Min() (k, v int64, ok bool) {
+	for s := 0; s < p.numSegs; s++ {
+		if p.card[s] > 0 {
+			b := p.cfg.SegmentCapacity
+			return p.keys[s*b], p.vals[s*b], true
+		}
+	}
+	return 0, 0, false
+}
+
+// Max returns the largest stored key, or ok=false when empty.
+func (p *PMA) Max() (k, v int64, ok bool) {
+	for s := p.numSegs - 1; s >= 0; s-- {
+		if c := p.card[s]; c > 0 {
+			b := p.cfg.SegmentCapacity
+			return p.keys[s*b+c-1], p.vals[s*b+c-1], true
+		}
+	}
+	return 0, 0, false
+}
+
+// Scan visits all pairs with lo <= key <= hi in ascending key order, stopping
+// early when fn returns false.
+func (p *PMA) Scan(lo, hi int64, fn func(k, v int64) bool) {
+	if p.n == 0 || lo > hi {
+		return
+	}
+	b := p.cfg.SegmentCapacity
+	s := p.findSegment(lo)
+	keys, _ := p.segSlice(s)
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= lo })
+	for ; s < p.numSegs; s++ {
+		base := s * b
+		for c := p.card[s]; i < c; i++ {
+			k := p.keys[base+i]
+			if k > hi {
+				return
+			}
+			if !fn(k, p.vals[base+i]) {
+				return
+			}
+		}
+		i = 0
+	}
+}
+
+// ScanAll visits every pair in ascending key order.
+func (p *PMA) ScanAll(fn func(k, v int64) bool) {
+	b := p.cfg.SegmentCapacity
+	for s := 0; s < p.numSegs; s++ {
+		base := s * b
+		for i, c := 0, p.card[s]; i < c; i++ {
+			if !fn(p.keys[base+i], p.vals[base+i]) {
+				return
+			}
+		}
+	}
+}
+
+// Keys returns all stored keys in order (test helper; O(n) allocation).
+func (p *PMA) Keys() []int64 {
+	out := make([]int64, 0, p.n)
+	p.ScanAll(func(k, _ int64) bool { out = append(out, k); return true })
+	return out
+}
+
+// SegmentCards exposes a copy of the per-segment cardinalities (test helper).
+func (p *PMA) SegmentCards() []int {
+	out := make([]int, p.numSegs)
+	copy(out, p.card)
+	return out
+}
+
+// nextPow2 returns the smallest power of two >= v (and at least 1).
+func nextPow2(v int) int {
+	if v <= 1 {
+		return 1
+	}
+	n := 1
+	for n < v {
+		n <<= 1
+	}
+	return n
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

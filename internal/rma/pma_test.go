@@ -1,0 +1,491 @@
+package rma
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.SegmentCapacity = 8 // small segments exercise rebalances quickly
+	return cfg
+}
+
+func TestEmpty(t *testing.T) {
+	p := New(testConfig())
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", p.Len())
+	}
+	if _, ok := p.Get(42); ok {
+		t.Fatal("Get on empty PMA returned ok")
+	}
+	if p.Delete(42) {
+		t.Fatal("Delete on empty PMA returned true")
+	}
+	if _, _, ok := p.Min(); ok {
+		t.Fatal("Min on empty PMA returned ok")
+	}
+	if _, _, ok := p.Max(); ok {
+		t.Fatal("Max on empty PMA returned ok")
+	}
+	count := 0
+	p.ScanAll(func(_, _ int64) bool { count++; return true })
+	if count != 0 {
+		t.Fatalf("ScanAll visited %d elements, want 0", count)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutGetSequential(t *testing.T) {
+	p := New(testConfig())
+	const n = 10_000
+	for i := int64(1); i <= n; i++ {
+		if !p.Put(i, i*2) {
+			t.Fatalf("Put(%d) reported replace on fresh key", i)
+		}
+	}
+	if p.Len() != n {
+		t.Fatalf("Len = %d, want %d", p.Len(), n)
+	}
+	for i := int64(1); i <= n; i++ {
+		v, ok := p.Get(i)
+		if !ok || v != i*2 {
+			t.Fatalf("Get(%d) = %d,%v want %d,true", i, v, ok, i*2)
+		}
+	}
+	if _, ok := p.Get(n + 1); ok {
+		t.Fatal("Get of absent key returned ok")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutDescending(t *testing.T) {
+	p := New(testConfig())
+	const n = 5_000
+	for i := int64(n); i >= 1; i-- {
+		p.Put(i, -i)
+	}
+	keys := p.Keys()
+	if len(keys) != n {
+		t.Fatalf("len(keys) = %d, want %d", len(keys), n)
+	}
+	for i, k := range keys {
+		if k != int64(i+1) {
+			t.Fatalf("keys[%d] = %d, want %d", i, k, i+1)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpsert(t *testing.T) {
+	p := New(testConfig())
+	p.Put(7, 1)
+	if p.Put(7, 2) {
+		t.Fatal("second Put of same key reported insert")
+	}
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", p.Len())
+	}
+	if v, _ := p.Get(7); v != 2 {
+		t.Fatalf("Get(7) = %d, want 2", v)
+	}
+}
+
+func TestDeleteEverything(t *testing.T) {
+	p := New(testConfig())
+	const n = 4_000
+	for i := int64(1); i <= n; i++ {
+		p.Put(i, i)
+	}
+	grown := p.Capacity()
+	order := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range order {
+		if !p.Delete(int64(i + 1)) {
+			t.Fatalf("Delete(%d) = false", i+1)
+		}
+	}
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d after deleting everything", p.Len())
+	}
+	if p.Capacity() >= grown {
+		t.Fatalf("capacity %d did not shrink from %d", p.Capacity(), grown)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The structure must remain usable after total erasure.
+	p.Put(99, 99)
+	if v, ok := p.Get(99); !ok || v != 99 {
+		t.Fatal("reuse after erasure failed")
+	}
+}
+
+func TestDeleteAbsent(t *testing.T) {
+	p := New(testConfig())
+	for i := int64(0); i < 100; i++ {
+		p.Put(i*2+1, i)
+	}
+	for i := int64(0); i < 100; i++ {
+		if p.Delete(i * 2) {
+			t.Fatalf("Delete(%d) of absent key returned true", i*2)
+		}
+	}
+	if p.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", p.Len())
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	p := New(testConfig())
+	for i := int64(0); i < 1000; i++ {
+		p.Put(i*10, i)
+	}
+	var got []int64
+	p.Scan(95, 205, func(k, _ int64) bool { got = append(got, k); return true })
+	want := []int64{100, 110, 120, 130, 140, 150, 160, 170, 180, 190, 200}
+	if len(got) != len(want) {
+		t.Fatalf("scan returned %d keys, want %d (%v)", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scan[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	p := New(testConfig())
+	for i := int64(1); i <= 1000; i++ {
+		p.Put(i, i)
+	}
+	count := 0
+	p.ScanAll(func(_, _ int64) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Fatalf("visited %d, want 10", count)
+	}
+}
+
+func TestScanEmptyRange(t *testing.T) {
+	p := New(testConfig())
+	for i := int64(0); i < 100; i++ {
+		p.Put(i*100, i)
+	}
+	visited := 0
+	p.Scan(5, 50, func(_, _ int64) bool { visited++; return true })
+	if visited != 0 {
+		t.Fatalf("scan of gap visited %d", visited)
+	}
+	p.Scan(200, 100, func(_, _ int64) bool { visited++; return true })
+	if visited != 0 {
+		t.Fatal("inverted range visited elements")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	p := New(testConfig())
+	for _, k := range []int64{500, 3, 999, 42} {
+		p.Put(k, k)
+	}
+	if k, _, _ := p.Min(); k != 3 {
+		t.Fatalf("Min = %d, want 3", k)
+	}
+	if k, _, _ := p.Max(); k != 999 {
+		t.Fatalf("Max = %d, want 999", k)
+	}
+	p.Delete(3)
+	p.Delete(999)
+	if k, _, _ := p.Min(); k != 42 {
+		t.Fatalf("Min = %d, want 42", k)
+	}
+	if k, _, _ := p.Max(); k != 500 {
+		t.Fatalf("Max = %d, want 500", k)
+	}
+}
+
+func TestNegativeKeys(t *testing.T) {
+	p := New(testConfig())
+	for i := int64(-500); i <= 500; i++ {
+		p.Put(i, i)
+	}
+	if p.Len() != 1001 {
+		t.Fatalf("Len = %d, want 1001", p.Len())
+	}
+	keys := p.Keys()
+	if keys[0] != -500 || keys[len(keys)-1] != 500 {
+		t.Fatalf("range [%d,%d], want [-500,500]", keys[0], keys[len(keys)-1])
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentinelKeysPanic(t *testing.T) {
+	p := New(testConfig())
+	for _, k := range []int64{KeyMin, KeyMax} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Put(%d) did not panic", k)
+				}
+			}()
+			p.Put(k, 0)
+		}()
+	}
+}
+
+func TestGrowDoubles(t *testing.T) {
+	cfg := testConfig()
+	p := New(cfg)
+	prev := p.Capacity()
+	for i := int64(0); i < 1000; i++ {
+		p.Put(i, i)
+		if c := p.Capacity(); c != prev {
+			if c != prev*2 {
+				t.Fatalf("capacity jumped %d -> %d, want doubling", prev, c)
+			}
+			prev = c
+		}
+	}
+	if p.Stats().Resizes == 0 {
+		t.Fatal("no resizes recorded")
+	}
+}
+
+func TestDensityBounds(t *testing.T) {
+	p := New(testConfig())
+	for i := int64(0); i < 50_000; i++ {
+		p.Put(i, i)
+		if d := p.Density(); d > 1.0 {
+			t.Fatalf("density %f > 1", d)
+		}
+	}
+	// The relaxed evaluation policy guarantees occupancy never drops
+	// below ~50% for long: delete half and check the array shrank.
+	for i := int64(0); i < 40_000; i++ {
+		p.Delete(i)
+	}
+	if d := p.Density(); d < 0.25 {
+		t.Fatalf("density %f after deletions: shrink policy not applied", d)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTheoreticalConfigRebalancesOnDelete(t *testing.T) {
+	cfg := TheoreticalConfig()
+	cfg.SegmentCapacity = 8
+	cfg.DownsizeAtHalf = false
+	p := New(cfg)
+	for i := int64(0); i < 10_000; i++ {
+		p.Put(i, i)
+	}
+	before := p.Stats().Rebalances
+	// Deleting a contiguous run underflows leaf windows repeatedly.
+	for i := int64(0); i < 9_000; i++ {
+		p.Delete(i)
+	}
+	if p.Stats().Rebalances == before && p.Stats().Resizes == 0 {
+		t.Fatal("no rebalance or resize triggered by mass deletion under theoretical thresholds")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoad(t *testing.T) {
+	cfg := testConfig()
+	const n = 20_000
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i * 3)
+		vals[i] = int64(i)
+	}
+	p := NewFromSorted(cfg, keys, vals)
+	if p.Len() != n {
+		t.Fatalf("Len = %d, want %d", p.Len(), n)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d := p.Density(); d > cfg.TauRoot {
+		t.Fatalf("bulk-load density %f exceeds tau_h", d)
+	}
+	for _, i := range []int{0, 1, n / 2, n - 1} {
+		if v, ok := p.Get(keys[i]); !ok || v != vals[i] {
+			t.Fatalf("Get(%d) = %d,%v", keys[i], v, ok)
+		}
+	}
+	// Inserts after a bulk load must keep working.
+	p.Put(1, -1)
+	if v, ok := p.Get(1); !ok || v != -1 {
+		t.Fatal("insert after bulk load failed")
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	p := NewFromSorted(testConfig(), nil, nil)
+	if p.Len() != 0 {
+		t.Fatal("empty bulk load is not empty")
+	}
+	p.Put(5, 5)
+	if p.Len() != 1 {
+		t.Fatal("insert after empty bulk load failed")
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unsorted bulk load did not panic")
+		}
+	}()
+	NewFromSorted(testConfig(), []int64{3, 1}, []int64{0, 0})
+}
+
+// TestRandomAgainstModel drives the PMA with a random operation stream and
+// compares every result against a map+sort model.
+func TestRandomAgainstModel(t *testing.T) {
+	for _, adaptive := range []bool{false, true} {
+		cfg := testConfig()
+		cfg.Adaptive = adaptive
+		p := New(cfg)
+		model := map[int64]int64{}
+		rng := rand.New(rand.NewSource(7))
+		const ops = 60_000
+		for i := 0; i < ops; i++ {
+			k := int64(rng.Intn(5_000))
+			switch rng.Intn(10) {
+			case 0, 1, 2: // delete
+				want := false
+				if _, ok := model[k]; ok {
+					want = true
+					delete(model, k)
+				}
+				if got := p.Delete(k); got != want {
+					t.Fatalf("adaptive=%v op %d: Delete(%d) = %v, want %v", adaptive, i, k, got, want)
+				}
+			case 3: // lookup
+				wv, wok := model[k]
+				gv, gok := p.Get(k)
+				if gok != wok || (gok && gv != wv) {
+					t.Fatalf("adaptive=%v op %d: Get(%d) = %d,%v want %d,%v", adaptive, i, k, gv, gok, wv, wok)
+				}
+			default: // insert
+				v := rng.Int63()
+				_, existed := model[k]
+				model[k] = v
+				if ins := p.Put(k, v); ins == existed {
+					t.Fatalf("adaptive=%v op %d: Put(%d) insert=%v, want %v", adaptive, i, k, ins, !existed)
+				}
+			}
+		}
+		if p.Len() != len(model) {
+			t.Fatalf("adaptive=%v: Len = %d, model has %d", adaptive, p.Len(), len(model))
+		}
+		wantKeys := make([]int64, 0, len(model))
+		for k := range model {
+			wantKeys = append(wantKeys, k)
+		}
+		sort.Slice(wantKeys, func(i, j int) bool { return wantKeys[i] < wantKeys[j] })
+		got := p.Keys()
+		for i, k := range wantKeys {
+			if got[i] != k {
+				t.Fatalf("adaptive=%v: key[%d] = %d, want %d", adaptive, i, got[i], k)
+			}
+			if v, ok := p.Get(k); !ok || v != model[k] {
+				t.Fatalf("adaptive=%v: Get(%d) mismatch", adaptive, k)
+			}
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("adaptive=%v: %v", adaptive, err)
+		}
+	}
+}
+
+func TestSkewedInsertsAdaptiveFewerRebalances(t *testing.T) {
+	// Hammering one region is the PMA worst case; the adaptive policy
+	// must reduce the number of rebalances relative to traditional.
+	run := func(adaptive bool) int64 {
+		cfg := DefaultConfig()
+		cfg.SegmentCapacity = 32
+		cfg.Adaptive = adaptive
+		p := New(cfg)
+		// Sequential ascending keys: all inserts hit the last segment.
+		for i := int64(0); i < 100_000; i++ {
+			p.Put(i, i)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		return p.Stats().RebalancedSegs
+	}
+	trad := run(false)
+	adap := run(true)
+	if adap >= trad {
+		t.Fatalf("adaptive moved more segments than traditional: %d >= %d", adap, trad)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	p := New(testConfig())
+	for i := int64(0); i < 100; i++ {
+		p.Put(i, i)
+	}
+	p.keys[0], p.keys[1] = p.keys[1], p.keys[0] // break the sort order
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate did not detect an order violation")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{SegmentCapacity: 3, RhoRoot: 0.7, TauRoot: 0.7, TauLeaf: 1},
+		{SegmentCapacity: 6, RhoRoot: 0.7, TauRoot: 0.7, TauLeaf: 1},
+		{SegmentCapacity: 8, RhoLeaf: 0.9, RhoRoot: 0.7, TauRoot: 0.7, TauLeaf: 1},
+		{SegmentCapacity: 8, RhoLeaf: 0.1, RhoRoot: 0.7, TauRoot: 0.6, TauLeaf: 1},
+		{SegmentCapacity: 8, RhoLeaf: 0.1, RhoRoot: 0.5, TauRoot: 0.6, TauLeaf: 1.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("config %d validated unexpectedly: %+v", i, cfg)
+		}
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	if err := TheoreticalConfig().Validate(); err != nil {
+		t.Errorf("theoretical config invalid: %v", err)
+	}
+}
+
+func TestThresholdInterpolation(t *testing.T) {
+	cfg := TheoreticalConfig()
+	// h=3 reproduces the labels of Figure 1a: rho2=0.625, tau2=0.875,
+	// rho3=tau3=0.75.
+	rho2, tau2 := cfg.thresholds(2, 3)
+	if rho2 != 0.625 || tau2 != 0.875 {
+		t.Fatalf("level-2 thresholds = %v,%v want 0.625,0.875", rho2, tau2)
+	}
+	rho3, tau3 := cfg.thresholds(3, 3)
+	if rho3 != 0.75 || tau3 != 0.75 {
+		t.Fatalf("root thresholds = %v,%v want 0.75,0.75", rho3, tau3)
+	}
+	rho1, tau1 := cfg.thresholds(1, 3)
+	if rho1 != 0.5 || tau1 != 1.0 {
+		t.Fatalf("leaf thresholds = %v,%v want 0.5,1.0", rho1, tau1)
+	}
+	// Single-segment tree falls back to root thresholds.
+	r, ta := cfg.thresholds(1, 1)
+	if r != cfg.RhoRoot || ta != cfg.TauRoot {
+		t.Fatalf("h=1 thresholds = %v,%v", r, ta)
+	}
+}

@@ -1,0 +1,144 @@
+package rma
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// opSeq is a randomly generated operation sequence for property tests.
+type opSeq struct {
+	ops []modelOp
+}
+
+type modelOp struct {
+	kind byte // 0: put, 1: delete, 2: get
+	key  int64
+	val  int64
+}
+
+// Generate implements quick.Generator, producing sequences biased toward a
+// small key domain so deletes and upserts actually hit existing keys.
+func (opSeq) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 200 + r.Intn(2000)
+	domain := int64(1 + r.Intn(500))
+	ops := make([]modelOp, n)
+	for i := range ops {
+		ops[i] = modelOp{
+			kind: byte(r.Intn(3)),
+			key:  r.Int63n(domain) - domain/3, // include negatives
+			val:  r.Int63(),
+		}
+	}
+	return reflect.ValueOf(opSeq{ops})
+}
+
+// TestQuickModelEquivalence: after any operation sequence the PMA holds
+// exactly the key/value pairs of a model map, in sorted key order, with all
+// structural invariants intact.
+func TestQuickModelEquivalence(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SegmentCapacity = 8
+	property := func(seq opSeq) bool {
+		p := New(cfg)
+		model := map[int64]int64{}
+		for _, op := range seq.ops {
+			switch op.kind {
+			case 0:
+				p.Put(op.key, op.val)
+				model[op.key] = op.val
+			case 1:
+				_, want := model[op.key]
+				delete(model, op.key)
+				if p.Delete(op.key) != want {
+					return false
+				}
+			case 2:
+				wv, wok := model[op.key]
+				gv, gok := p.Get(op.key)
+				if gok != wok || (gok && gv != wv) {
+					return false
+				}
+			}
+		}
+		if p.Len() != len(model) {
+			return false
+		}
+		if err := p.Validate(); err != nil {
+			t.Logf("invariant violation: %v", err)
+			return false
+		}
+		want := make([]int64, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		got := p.Keys()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScanMatchesSortedModel: any range scan returns exactly the model
+// keys within the range, ascending.
+func TestQuickScanMatchesSortedModel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SegmentCapacity = 8
+	cfg.Adaptive = true
+	property := func(seq opSeq, rawLo, rawHi int64) bool {
+		lo, hi := rawLo%1000, rawHi%1000
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		p := New(cfg)
+		model := map[int64]int64{}
+		for _, op := range seq.ops {
+			if op.kind == 1 {
+				delete(model, op.key)
+				p.Delete(op.key)
+			} else {
+				model[op.key] = op.val
+				p.Put(op.key, op.val)
+			}
+		}
+		var want []int64
+		for k := range model {
+			if k >= lo && k <= hi {
+				want = append(want, k)
+			}
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		var got []int64
+		p.Scan(lo, hi, func(k, v int64) bool {
+			if v != model[k] {
+				return false
+			}
+			got = append(got, k)
+			return true
+		})
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+package rma
+
+// makeRoom opens at least one gap in segment s by rebalancing the smallest
+// calibrator-tree window that (a) stays within its upper density threshold
+// counting the pending insert and (b) leaves every segment of the window with
+// a free slot after an even spread. When no window qualifies the array is
+// grown. Called only when segment s is full.
+func (p *PMA) makeRoom(s int) {
+	b := p.cfg.SegmentCapacity
+	h := p.height()
+	for k := 2; k <= h; k++ {
+		w := 1 << (k - 1)
+		ws := s &^ (w - 1)
+		we := ws + w
+		cardW := 0
+		for i := ws; i < we; i++ {
+			cardW += p.card[i]
+		}
+		_, tau := p.cfg.thresholds(k, h)
+		if float64(cardW+1) <= tau*float64(w*b) && cardW <= w*(b-1) {
+			p.rebalance(ws, we)
+			return
+		}
+	}
+	p.grow()
+}
+
+// findDeleteWindow walks the calibrator tree upward from segment s looking
+// for the smallest window whose density is back within threshold. Inner
+// levels require the density to be strictly above the lower threshold (a
+// window sitting exactly at rho_k would be invalidated again by the next
+// deletion); the root accepts its thresholds inclusively as the last resort
+// before a resize. This matches the traversal of the paper's Figure 1, which
+// climbs past the 0.625-dense parent window to rebalance the whole array.
+// Only used when RhoLeaf > 0 (the theoretical configuration).
+func (p *PMA) findDeleteWindow(s int) (ws, we int, ok bool) {
+	b := p.cfg.SegmentCapacity
+	h := p.height()
+	for k := 2; k <= h; k++ {
+		w := 1 << (k - 1)
+		ws = s &^ (w - 1)
+		we = ws + w
+		cardW := 0
+		for i := ws; i < we; i++ {
+			cardW += p.card[i]
+		}
+		rho, tau := p.cfg.thresholds(k, h)
+		d := float64(cardW) / float64(w*b)
+		if k == h {
+			if d >= rho && d <= tau {
+				return ws, we, true
+			}
+		} else if d > rho && d <= tau {
+			return ws, we, true
+		}
+	}
+	return 0, 0, false
+}
+
+// rebalance redistributes the elements of segments [ws, we) following the
+// configured policy (traditional even spread, or adaptive when a predictor is
+// attached).
+func (p *PMA) rebalance(ws, we int) {
+	ks, vs := p.gather(ws, we)
+	p.spreadFrom(ws, we, ks, vs, p.pred)
+	p.stats.Rebalances++
+	p.stats.RebalancedSegs += int64(we - ws)
+	p.stats.ElementsMoved += int64(len(ks))
+}
+
+// gather copies the elements of segments [ws, we) in order into the scratch
+// buffers and returns the filled prefixes.
+func (p *PMA) gather(ws, we int) (ks, vs []int64) {
+	b := p.cfg.SegmentCapacity
+	n := 0
+	for s := ws; s < we; s++ {
+		base := s * b
+		n += copy(p.scratchK[n:], p.keys[base:base+p.card[s]])
+	}
+	m := 0
+	for s := ws; s < we; s++ {
+		base := s * b
+		m += copy(p.scratchV[m:], p.vals[base:base+p.card[s]])
+	}
+	return p.scratchK[:n], p.scratchV[:m]
+}
+
+// gatherAll copies every element into freshly allocated slices (used by
+// resizes, which reallocate the scratch space).
+func (p *PMA) gatherAll() (ks, vs []int64) {
+	ks = make([]int64, 0, p.n)
+	vs = make([]int64, 0, p.n)
+	b := p.cfg.SegmentCapacity
+	for s := 0; s < p.numSegs; s++ {
+		base := s * b
+		ks = append(ks, p.keys[base:base+p.card[s]]...)
+		vs = append(vs, p.vals[base:base+p.card[s]]...)
+	}
+	return ks, vs
+}
+
+// spreadFrom distributes the sorted elements ks/vs across segments [ws, we),
+// overwriting their previous contents and refreshing cardinalities and
+// cached minima. With a predictor, counts follow the adaptive policy;
+// otherwise the traditional even spread (Figure 1b) applies.
+func (p *PMA) spreadFrom(ws, we int, ks, vs []int64, pred *Predictor) {
+	b := p.cfg.SegmentCapacity
+	m := we - ws
+	counts := p.spreadCounts(m, len(ks), ks, pred)
+	pos := 0
+	for i := 0; i < m; i++ {
+		s := ws + i
+		base := s * b
+		c := counts[i]
+		copy(p.keys[base:base+c], ks[pos:pos+c])
+		copy(p.vals[base:base+c], vs[pos:pos+c])
+		p.card[s] = c
+		pos += c
+	}
+	// Refresh cached minima right-to-left so empty segments inherit.
+	inherit := int64(KeyMax)
+	if we < p.numSegs {
+		inherit = p.smin[we]
+	}
+	for s := we - 1; s >= ws; s-- {
+		if p.card[s] > 0 {
+			p.smin[s] = p.keys[s*b]
+			inherit = p.smin[s]
+		} else {
+			p.smin[s] = inherit
+		}
+	}
+	// Empty segments to the left of the window may inherit a changed
+	// minimum.
+	for s := ws - 1; s >= 0 && p.card[s] == 0; s-- {
+		p.smin[s] = inherit
+	}
+}
+
+// spreadCounts decides how many elements each of m segments receives.
+func (p *PMA) spreadCounts(m, n int, ks []int64, pred *Predictor) []int {
+	if pred == nil || !p.cfg.Adaptive || n == 0 {
+		return EvenCounts(n, m)
+	}
+	return pred.AdaptiveCounts(ks, m, p.cfg.SegmentCapacity)
+}
+
+// grow doubles the number of segments and redistributes evenly.
+func (p *PMA) grow() {
+	p.resizeTo(p.numSegs * 2)
+}
+
+// shrink reduces the capacity following the paper's policy
+// C' = 2N/(rho_h+tau_h), rounded up to a power-of-two segment count. The
+// shrink is skipped when it would land the density within 0.05 of the root
+// upper threshold, which prevents grow/shrink thrashing around the boundary.
+func (p *PMA) shrink() {
+	b := p.cfg.SegmentCapacity
+	targetSlots := int(2 * float64(p.n) / (p.cfg.RhoRoot + p.cfg.TauRoot))
+	segs := nextPow2(ceilDiv(max(targetSlots, 1), b))
+	if segs >= p.numSegs {
+		return
+	}
+	if float64(p.n) > (p.cfg.TauRoot-0.05)*float64(segs*b) {
+		return
+	}
+	p.resizeTo(segs)
+}
+
+// resizeTo rebuilds the array at the given segment count, spreading evenly.
+func (p *PMA) resizeTo(segs int) {
+	ks, vs := p.gatherAll()
+	p.alloc(segs)
+	p.n = len(ks)
+	p.spreadFrom(0, segs, ks, vs, nil)
+	p.stats.Resizes++
+	p.stats.ElementsMoved += int64(len(ks))
+}

@@ -1,0 +1,123 @@
+package rma
+
+import "sort"
+
+// Put inserts k/v, replacing the value if k is already present. It returns
+// true when a new element was inserted (false on replace). The sentinel keys
+// KeyMin and KeyMax are rejected with a panic: they are reserved as fence
+// keys by the concurrent layer.
+func (p *PMA) Put(k, v int64) bool {
+	if k == KeyMin || k == KeyMax {
+		panic("rma: cannot store sentinel key")
+	}
+	s := p.findSegment(k)
+	b := p.cfg.SegmentCapacity
+	keys, vals := p.segSlice(s)
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	if i < len(keys) && keys[i] == k {
+		vals[i] = v
+		return false
+	}
+	if p.card[s] == b {
+		// The segment is full: rebalance the smallest in-threshold
+		// window (or resize) to open a gap, then retry the placement
+		// from scratch since elements have moved.
+		p.makeRoom(s)
+		s = p.findSegment(k)
+		keys, _ = p.segSlice(s)
+		i = sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	}
+	p.insertAt(s, i, k, v)
+	if p.pred != nil {
+		p.pred.Record(k)
+	}
+	return true
+}
+
+// insertAt places k/v at offset i of segment s, shifting the segment tail
+// right by one. The caller guarantees the segment has a free slot.
+func (p *PMA) insertAt(s, i int, k, v int64) {
+	b := p.cfg.SegmentCapacity
+	base := s * b
+	c := p.card[s]
+	copy(p.keys[base+i+1:base+c+1], p.keys[base+i:base+c])
+	copy(p.vals[base+i+1:base+c+1], p.vals[base+i:base+c])
+	p.keys[base+i] = k
+	p.vals[base+i] = v
+	p.card[s] = c + 1
+	p.n++
+	if i == 0 {
+		p.setSegMin(s, k)
+	}
+}
+
+// Delete removes k, reporting whether it was present.
+func (p *PMA) Delete(k int64) bool {
+	if p.n == 0 {
+		return false
+	}
+	s := p.findSegment(k)
+	keys, _ := p.segSlice(s)
+	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
+	if i == len(keys) || keys[i] != k {
+		return false
+	}
+	b := p.cfg.SegmentCapacity
+	base := s * b
+	c := p.card[s]
+	copy(p.keys[base+i:base+c-1], p.keys[base+i+1:base+c])
+	copy(p.vals[base+i:base+c-1], p.vals[base+i+1:base+c])
+	p.card[s] = c - 1
+	p.n--
+	if i == 0 {
+		if p.card[s] > 0 {
+			p.setSegMin(s, p.keys[base])
+		} else {
+			p.clearSegMin(s)
+		}
+	}
+	p.afterDelete(s)
+	return true
+}
+
+// afterDelete restores density invariants after removing an element from
+// segment s: with a positive leaf lower threshold it walks the calibrator
+// tree for a window to rebalance; with the relaxed evaluation policy it only
+// shrinks the array once occupancy drops below 50%.
+func (p *PMA) afterDelete(s int) {
+	b := p.cfg.SegmentCapacity
+	if p.cfg.RhoLeaf > 0 && float64(p.card[s]) < p.cfg.RhoLeaf*float64(b) {
+		if ws, we, ok := p.findDeleteWindow(s); ok {
+			p.rebalance(ws, we)
+			return
+		}
+		p.shrink()
+		return
+	}
+	if p.cfg.DownsizeAtHalf && p.numSegs > 1 && p.n*2 < p.Capacity() {
+		p.shrink()
+	}
+}
+
+// setSegMin updates the cached minimum of segment s and propagates it to any
+// empty segments on the left that inherit it.
+func (p *PMA) setSegMin(s int, k int64) {
+	p.smin[s] = k
+	for t := s - 1; t >= 0 && p.card[t] == 0; t-- {
+		p.smin[t] = k
+	}
+}
+
+// clearSegMin handles segment s becoming empty: it inherits the minimum of
+// the nearest non-empty segment to the right (KeyMax at the end), preserving
+// the non-decreasing smin invariant.
+func (p *PMA) clearSegMin(s int) {
+	inherit := int64(KeyMax)
+	if s+1 < p.numSegs {
+		inherit = p.smin[s+1]
+	}
+	p.smin[s] = inherit
+	for t := s - 1; t >= 0 && p.card[t] == 0; t-- {
+		p.smin[t] = inherit
+	}
+}

@@ -1,0 +1,65 @@
+package rma
+
+import "fmt"
+
+// Validate checks every structural invariant of the PMA and returns the
+// first violation found, or nil. Intended for tests and debugging; it is
+// O(capacity).
+func (p *PMA) Validate() error {
+	b := p.cfg.SegmentCapacity
+	if p.numSegs < 1 || p.numSegs&(p.numSegs-1) != 0 {
+		return fmt.Errorf("segment count %d is not a positive power of two", p.numSegs)
+	}
+	if len(p.keys) != p.numSegs*b || len(p.vals) != p.numSegs*b {
+		return fmt.Errorf("backing array length %d does not match capacity %d", len(p.keys), p.numSegs*b)
+	}
+	total := 0
+	prev := int64(KeyMin)
+	for s := 0; s < p.numSegs; s++ {
+		c := p.card[s]
+		if c < 0 || c > b {
+			return fmt.Errorf("segment %d cardinality %d out of range [0,%d]", s, c, b)
+		}
+		total += c
+		base := s * b
+		for i := 0; i < c; i++ {
+			k := p.keys[base+i]
+			if k <= prev {
+				return fmt.Errorf("order violation in segment %d offset %d: %d after %d", s, i, k, prev)
+			}
+			if k == KeyMin || k == KeyMax {
+				return fmt.Errorf("sentinel key stored in segment %d", s)
+			}
+			prev = k
+		}
+	}
+	if total != p.n {
+		return fmt.Errorf("cardinality sum %d != recorded size %d", total, p.n)
+	}
+	// Cached minima: non-decreasing, correct for non-empty segments, and
+	// inherited from the right for empty ones.
+	inherit := int64(KeyMax)
+	for s := p.numSegs - 1; s >= 0; s-- {
+		if p.card[s] > 0 {
+			want := p.keys[s*b]
+			if p.smin[s] != want {
+				return fmt.Errorf("segment %d cached min %d != actual %d", s, p.smin[s], want)
+			}
+			inherit = want
+		} else if p.smin[s] != inherit {
+			return fmt.Errorf("empty segment %d cached min %d != inherited %d", s, p.smin[s], inherit)
+		}
+	}
+	for s := 1; s < p.numSegs; s++ {
+		if p.smin[s-1] > p.smin[s] {
+			return fmt.Errorf("cached minima not sorted at segment %d", s)
+		}
+	}
+	if p.n > 0 {
+		d := p.Density()
+		if d > p.cfg.TauLeaf {
+			return fmt.Errorf("overall density %f exceeds tau1 %f", d, p.cfg.TauLeaf)
+		}
+	}
+	return nil
+}

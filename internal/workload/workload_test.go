@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestUniformBoundsAndSpread(t *testing.T) {
+	g := NewGenerator(Uniform(), 1000, 1)
+	buckets := make([]int, 10)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		k := g.Next()
+		if k < 1 || k > 1000 {
+			t.Fatalf("key %d out of [1,1000]", k)
+		}
+		buckets[(k-1)/100]++
+	}
+	for i, c := range buckets {
+		if math.Abs(float64(c)-n/10) > n/50 {
+			t.Fatalf("bucket %d count %d far from uniform", i, c)
+		}
+	}
+}
+
+func TestZipfSkewIncreasesWithAlpha(t *testing.T) {
+	const n = 200_000
+	top := func(alpha float64) float64 {
+		g := NewGenerator(Zipf(alpha), DefaultDomain, 7)
+		hot := 0
+		for i := 0; i < n; i++ {
+			if g.Next() <= 16 {
+				hot++
+			}
+		}
+		return float64(hot) / n
+	}
+	t1, t15, t2 := top(1), top(1.5), top(2)
+	if !(t1 < t15 && t15 < t2) {
+		t.Fatalf("hot-key mass not increasing with alpha: %f %f %f", t1, t15, t2)
+	}
+	if t2 < 0.8 {
+		t.Fatalf("alpha=2 should concentrate most mass on tiny keys, got %f", t2)
+	}
+	if t1 > 0.5 {
+		t.Fatalf("alpha=1 skew too strong: %f", t1)
+	}
+}
+
+func TestZipfAlpha1IsLogUniform(t *testing.T) {
+	g := NewGenerator(Zipf(1), 1<<20, 3)
+	// Under log-uniform sampling each doubling octave receives equal
+	// mass: count per octave should be roughly constant.
+	octaves := make([]int, 20)
+	const n = 200_000
+	for i := 0; i < n; i++ {
+		k := g.Next()
+		o := 0
+		for k > 1 {
+			k >>= 1
+			o++
+		}
+		if o >= len(octaves) {
+			o = len(octaves) - 1
+		}
+		octaves[o]++
+	}
+	expect := float64(n) / 20
+	for o, c := range octaves {
+		if math.Abs(float64(c)-expect) > expect/2 {
+			t.Fatalf("octave %d count %d far from log-uniform %f", o, c, expect)
+		}
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	for _, d := range PaperDistributions() {
+		a := NewGenerator(d, DefaultDomain, 42)
+		b := NewGenerator(d, DefaultDomain, 42)
+		c := NewGenerator(d, DefaultDomain, 43)
+		differ := false
+		for i := 0; i < 1000; i++ {
+			ka, kb := a.Next(), b.Next()
+			if ka != kb {
+				t.Fatalf("%v: same seed diverged at %d", d, i)
+			}
+			if ka != c.Next() {
+				differ = true
+			}
+		}
+		if !differ {
+			t.Fatalf("%v: different seeds produced identical streams", d)
+		}
+	}
+}
+
+func TestFill(t *testing.T) {
+	g := NewGenerator(Uniform(), 100, 1)
+	ks := g.Fill(nil, 50)
+	if len(ks) != 50 {
+		t.Fatalf("Fill returned %d keys", len(ks))
+	}
+	ks = g.Fill(ks, 25)
+	if len(ks) != 75 {
+		t.Fatalf("append Fill returned %d keys", len(ks))
+	}
+}
+
+func TestDistributionString(t *testing.T) {
+	if Uniform().String() != "Uniform" {
+		t.Fatal("uniform label")
+	}
+	if Zipf(1.5).String() != "Zipf a=1.5" {
+		t.Fatalf("zipf label: %s", Zipf(1.5).String())
+	}
+}

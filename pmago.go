@@ -1,0 +1,143 @@
+// Package pmago is a Go implementation of the concurrent Packed Memory
+// Array of "Fast Concurrent Reads and Updates with PMAs" (De Leo & Boncz,
+// GRADES-NDA 2019): a sorted key/value store over a gapped dense array that
+// serves range scans at sequential-memory speed while supporting concurrent
+// updates through gated latching, a centralised master/worker rebalancer,
+// epoch-based resizes, and optional asynchronous update combining.
+//
+// Quick start:
+//
+//	p, err := pmago.New()
+//	if err != nil { ... }
+//	defer p.Close()
+//	p.Put(42, 1)
+//	v, ok := p.Get(42)
+//	p.Scan(0, 100, func(k, v int64) bool { ...; return true })
+//
+// The zero-configuration store uses the paper's evaluation setup: 128-slot
+// segments, 8 segments per gate, batch-combined asynchronous updates with a
+// 100 ms rebalance delay. Use options to select the synchronous or
+// one-by-one modes, or to retune the geometry.
+package pmago
+
+import (
+	"time"
+
+	"pmago/internal/core"
+	"pmago/internal/rma"
+)
+
+// Reserved sentinel keys: the store holds any int64 key except these two,
+// which serve as the -inf/+inf fence keys internally.
+const (
+	KeyMin = rma.KeyMin
+	KeyMax = rma.KeyMax
+)
+
+// Mode selects how concurrent updates are processed (Section 3.5 of the
+// paper).
+type Mode = core.Mode
+
+const (
+	// ModeSync applies every update synchronously under its gate latch.
+	ModeSync = core.ModeSync
+	// ModeOneByOne combines contended updates and drains them in order,
+	// retaining adaptive rebalancing.
+	ModeOneByOne = core.ModeOneByOne
+	// ModeBatch combines contended updates and applies them in batches
+	// (deletes first, inserts merged into one rebalance), deferring
+	// global rebalances by the configured TDelay.
+	ModeBatch = core.ModeBatch
+)
+
+// Stats exposes the structural-event counters of the store.
+type Stats = core.Stats
+
+// Option customises a PMA.
+type Option func(*core.Config)
+
+// WithMode selects the update-processing scheme.
+func WithMode(m Mode) Option { return func(c *core.Config) { c.Mode = m } }
+
+// WithSegmentCapacity sets the slots per segment (power of two, >= 4; the
+// paper uses 128 and evaluates 256 as an ablation).
+func WithSegmentCapacity(b int) Option { return func(c *core.Config) { c.SegmentCapacity = b } }
+
+// WithSegmentsPerGate sets the chunk granularity (power of two; paper: 8).
+func WithSegmentsPerGate(n int) Option { return func(c *core.Config) { c.SegmentsPerGate = n } }
+
+// WithTDelay sets the minimum delay between global rebalances of one gate
+// in ModeBatch (paper: 100 ms, evaluated 0-800 ms).
+func WithTDelay(d time.Duration) Option { return func(c *core.Config) { c.TDelay = d } }
+
+// WithWorkers sets the rebalancer worker-pool size (paper: 8).
+func WithWorkers(n int) Option { return func(c *core.Config) { c.Workers = n } }
+
+// WithAdaptive forces adaptive rebalancing for local rebalances (implied by
+// ModeOneByOne).
+func WithAdaptive() Option { return func(c *core.Config) { c.Adaptive = true } }
+
+// PMA is a concurrent packed memory array mapping int64 keys to int64
+// values in sorted key order. All methods are safe for concurrent use by any
+// number of goroutines. A PMA owns service goroutines; Close releases them.
+type PMA struct {
+	c *core.PMA
+}
+
+// New creates an empty PMA with the paper's default configuration modified
+// by the given options.
+func New(opts ...Option) (*PMA, error) {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &PMA{c: c}, nil
+}
+
+// Close stops the rebalancer and garbage-collector goroutines, applying any
+// still-pending combined updates first. The PMA must not be used afterwards.
+func (p *PMA) Close() { p.c.Close() }
+
+// Put inserts k/v, replacing the value if k is present. In the asynchronous
+// modes the update may be deferred under contention: it is applied before
+// Flush returns, but an immediately following Get may not observe it yet.
+func (p *PMA) Put(k, v int64) { p.c.Put(k, v) }
+
+// Get returns the value stored under k.
+func (p *PMA) Get(k int64) (int64, bool) { return p.c.Get(k) }
+
+// Delete removes k, reporting whether an element was removed (deferred
+// deletes report true optimistically; see Put).
+func (p *PMA) Delete(k int64) bool { return p.c.Delete(k) }
+
+// Scan visits all pairs with lo <= key <= hi in ascending key order until
+// fn returns false. fn runs under a shared gate latch: it must not update
+// the same PMA and should return quickly.
+func (p *PMA) Scan(lo, hi int64, fn func(k, v int64) bool) { p.c.Scan(lo, hi, fn) }
+
+// ScanAll visits every pair in ascending key order.
+func (p *PMA) ScanAll(fn func(k, v int64) bool) { p.c.ScanAll(fn) }
+
+// Len returns the number of stored elements (excluding not-yet-applied
+// combined updates; Flush first for an exact count).
+func (p *PMA) Len() int { return p.c.Len() }
+
+// Capacity returns the current number of slots; Len()/Capacity() is the
+// array's fill factor, kept within the calibrator-tree thresholds.
+func (p *PMA) Capacity() int { return p.c.Capacity() }
+
+// Flush applies every pending combined update and deferred batch. After a
+// quiescent Flush, reads observe all previously accepted updates.
+func (p *PMA) Flush() { p.c.Flush() }
+
+// Stats returns structural-event counters (rebalances, resizes, combined
+// updates, reclaimed states).
+func (p *PMA) Stats() Stats { return p.c.Stats() }
+
+// Validate checks every structural invariant; it is meant for tests and
+// debugging and must run without concurrent updates.
+func (p *PMA) Validate() error { return p.c.Validate() }
