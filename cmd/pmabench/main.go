@@ -6,6 +6,7 @@
 //	pmabench -experiment figure4 -plot b     # Figure 4a-c
 //	pmabench -experiment ablation-segment    # Section 4.1 text: B=128 vs 256
 //	pmabench -experiment ablation-leaf       # Section 4.1 text: 4KiB vs 8KiB leaves
+//	pmabench -experiment batch               # batch subsystem: PutBatch/BulkLoad vs point loops
 //	pmabench -experiment all                 # everything, in order
 //
 // The defaults are laptop-scale; -inserts/-load/-ops/-threads restore any
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | graph | all")
+		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | batch | graph | all")
 		plot       = flag.String("plot", "", "figure3: a-f (empty = all); figure4: a-c (empty = all)")
 		inserts    = flag.Int("inserts", bench.DefaultScale().InsertN, "elements inserted in insert-only experiments")
 		loadN      = flag.Int("load", bench.DefaultScale().LoadN, "preloaded base size for the mixed experiments")
@@ -49,6 +50,8 @@ func main() {
 	case "ablation-leaf":
 		bench.PrintResults(os.Stdout, "Section 4.1 ablation: ART/B+-tree leaf 4KiB vs 8KiB (8 upd + 8 scan threads)",
 			bench.RunLeafAblation(sc), true)
+	case "batch":
+		printBatch(sc)
 	case "graph":
 		printGraph(sc)
 	case "all":
@@ -58,11 +61,29 @@ func main() {
 			bench.RunSegmentAblation(sc), true)
 		bench.PrintResults(os.Stdout, "Section 4.1 ablation: ART/B+-tree leaf 4KiB vs 8KiB",
 			bench.RunLeafAblation(sc), true)
+		printBatch(sc)
 		printGraph(sc)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+func printBatch(sc bench.Scale) {
+	fmt.Println("== Batch subsystem: PutBatch / BulkLoad vs point-update loops ==")
+	n := sc.InsertN / 2
+	for _, cl := range []int{0, 32, 128} {
+		shape := "scattered"
+		if cl > 0 {
+			shape = fmt.Sprintf("clusters of %d", cl)
+		}
+		r := bench.RunBatchComparison(sc.LoadN, n, 10_000, cl, sc.Seed)
+		fmt.Printf("PutBatch 10k (%-15s): point %6.2f M/s, batch %6.2f M/s, speedup %5.1fx\n",
+			shape, r.PointPerSec/1e6, r.BatchPerSec/1e6, r.Speedup)
+	}
+	b := bench.RunBulkComparison(sc.InsertN, sc.Seed)
+	fmt.Printf("BulkLoad %d keys: point %v, bulk %v, speedup %.1fx\n\n",
+		b.N, b.PointWall.Round(time.Millisecond), b.BulkWall.Round(time.Millisecond), b.Speedup)
 }
 
 func printGraph(sc bench.Scale) {

@@ -1,0 +1,45 @@
+// Package pmago is a Go implementation of the concurrent Packed Memory
+// Array of "Fast Concurrent Reads and Updates with PMAs" (De Leo & Boncz,
+// GRADES-NDA 2019): a sorted key/value store over a gapped dense array that
+// serves range scans at sequential-memory speed while supporting concurrent
+// updates.
+//
+// # Architecture
+//
+// The sparse array is split into fixed-size chunks, each guarded by a gate —
+// a read-write latch bundled with the chunk's fence keys (Section 3.1-3.2).
+// A static B+-tree index routes every operation to its gate without
+// synchronisation; fence-key verification absorbs racy index reads.
+// Rebalances that would span several gates are delegated to a centralised
+// rebalancer service (one master goroutine plus a worker pool, Section 3.3),
+// so no client ever holds more than one latch. Resizes rebuild the whole
+// array behind an atomic state pointer with epoch-based reclamation
+// (Section 3.4), and contended writers are decoupled through per-gate
+// combining queues with one-by-one or batch processing (Section 3.5).
+//
+// # Point and batch updates
+//
+// Put, Get, Delete and Scan are the paper's one-key-at-a-time surface.
+// PutBatch and DeleteBatch amortise the routing cost (epoch guard, index
+// lookup, gate latch) over an entire sorted batch, latching each affected
+// gate exactly once and merging that gate's run in a single pass; BulkLoad
+// constructs a pre-populated PMA directly at the array's target density in
+// one pass over the sorted data. Use them for bulk ingest — graph loading,
+// snapshot restore, telemetry backfill — where they beat point-update loops
+// by large factors (see internal/bench).
+//
+// # Quick start
+//
+//	p, err := pmago.New()
+//	if err != nil { ... }
+//	defer p.Close()
+//	p.Put(42, 1)
+//	v, ok := p.Get(42)
+//	p.PutBatch([]int64{1, 2, 3}, []int64{10, 20, 30})
+//	p.Scan(0, 100, func(k, v int64) bool { ...; return true })
+//
+// The zero-configuration store uses the paper's evaluation setup: 128-slot
+// segments, 8 segments per gate, batch-combined asynchronous updates with a
+// 100 ms rebalance delay. Use options to select the synchronous or
+// one-by-one modes, or to retune the geometry.
+package pmago

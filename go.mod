@@ -1,0 +1,3 @@
+module pmago
+
+go 1.22

@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"sort"
+	"time"
+
+	"pmago/internal/core"
+)
+
+// BatchStore extends Store with the batch-update surface. The concurrent
+// PMA implements it natively; AsBatch adapts any point-update store so the
+// harness can compare batch ingest against point loops on equal terms.
+type BatchStore interface {
+	Store
+	PutBatch(keys, vals []int64)
+	DeleteBatch(keys []int64) int
+}
+
+// forwarding wraps a Store while keeping the harness's Flusher and Closer
+// probes working through the wrapper.
+type forwarding struct{ Store }
+
+func (s forwarding) Flush() {
+	if f, ok := s.Store.(Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s forwarding) Close() {
+	if c, ok := s.Store.(Closer); ok {
+		c.Close()
+	}
+}
+
+// pointBatch emulates batch operations with a point-update loop — the
+// baseline every batch measurement is compared against.
+type pointBatch struct{ forwarding }
+
+func (s pointBatch) PutBatch(keys, vals []int64) {
+	for i := range keys {
+		s.Put(keys[i], vals[i])
+	}
+}
+
+func (s pointBatch) DeleteBatch(keys []int64) int {
+	n := 0
+	for _, k := range keys {
+		if s.Delete(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// AsBatch returns the store itself when it supports native batch updates
+// and a point-loop adapter otherwise.
+func AsBatch(s Store) BatchStore {
+	if b, ok := s.(BatchStore); ok {
+		return b
+	}
+	return pointBatch{forwarding{s}}
+}
+
+// PointOnly wraps a store so AsBatch cannot discover a native batch path;
+// it turns the PMA into its own point-update baseline. Flush and Close
+// still reach the wrapped store.
+func PointOnly(s Store) Store {
+	return forwarding{s}
+}
+
+// BatchResult compares batched against point ingest of the same keys.
+type BatchResult struct {
+	LoadN      int // preloaded base size
+	N          int // fresh keys ingested
+	BatchSize  int
+	ClusterLen int // 0 = uniformly scattered keys
+
+	PointPerSec float64 // keys/s via the point-update loop
+	BatchPerSec float64 // keys/s via PutBatch
+	Speedup     float64
+}
+
+// RunBatchComparison preloads a paper-configuration PMA with loadN uniform
+// keys and then ingests n fresh keys in key-sorted batchSize chunks — once
+// through the point-Put loop and once through PutBatch — returning both
+// ingest rates. clusterLen shapes the ingest: 0 scatters the fresh keys
+// uniformly (every key lands in a different segment, the batch path's worst
+// case), while clusterLen > 0 emits runs of that many adjacent keys (the
+// bulk-ingest shape: one vertex's edges, one time window of a telemetry
+// series), which per-gate merging amortises and a point loop cannot.
+func RunBatchComparison(loadN, n, batchSize, clusterLen int, seed int64) BatchResult {
+	res := BatchResult{LoadN: loadN, N: n, BatchSize: batchSize, ClusterLen: clusterLen}
+	run := func(batched bool) float64 {
+		s := core.MustNew(PaperPMAConfig())
+		defer s.Close()
+		preload(s, loadN, seed)
+		keys, vals := ingestKeys(n, clusterLen, seed)
+		sortChunks(keys, vals, batchSize)
+		start := time.Now()
+		for off := 0; off < n; off += batchSize {
+			end := min(off+batchSize, n)
+			if batched {
+				s.PutBatch(keys[off:end], vals[off:end])
+			} else {
+				for i := off; i < end; i++ {
+					s.Put(keys[i], vals[i])
+				}
+			}
+		}
+		s.Flush()
+		return float64(n) / time.Since(start).Seconds()
+	}
+	res.PointPerSec = run(false)
+	res.BatchPerSec = run(true)
+	res.Speedup = res.BatchPerSec / res.PointPerSec
+	return res
+}
+
+// BulkResult compares BulkLoad construction against point-Put construction
+// of the same dataset.
+type BulkResult struct {
+	N         int
+	PointWall time.Duration
+	BulkWall  time.Duration
+	Speedup   float64
+}
+
+// RunBulkComparison builds a store of n sorted unique keys twice: with n
+// point Puts into an empty PMA (paying every incremental rebalance and
+// resize) and with one BulkLoad laying the array out at target density.
+func RunBulkComparison(n int, seed int64) BulkResult {
+	keys, vals := freshKeys(n, seed)
+	sortChunks(keys, vals, n)
+	res := BulkResult{N: n}
+
+	s := core.MustNew(PaperPMAConfig())
+	start := time.Now()
+	for i := range keys {
+		s.Put(keys[i], vals[i])
+	}
+	s.Flush()
+	res.PointWall = time.Since(start)
+	s.Close()
+
+	start = time.Now()
+	b, err := core.BulkLoad(PaperPMAConfig(), keys, vals)
+	if err != nil {
+		panic(err)
+	}
+	res.BulkWall = time.Since(start)
+	b.Close()
+
+	res.Speedup = res.PointWall.Seconds() / res.BulkWall.Seconds()
+	return res
+}
+
+// ingestSlots is the number of even (preload) and odd (fresh) key slots the
+// ingest experiments draw from; a power of two so an odd multiplier walks
+// every slot exactly once.
+const ingestSlots = 1 << 24
+
+// preloadKeys generates loadN distinct even keys scattered uniformly over
+// the slot space, the base dataset of the ingest experiments.
+func preloadKeys(loadN int, seed int64) (keys, vals []int64) {
+	keys = make([]int64, loadN)
+	vals = make([]int64, loadN)
+	for i := range keys {
+		keys[i] = 2 * ((int64(i)*0x85EBCA77 + seed) & (ingestSlots - 1))
+		vals[i] = keys[i]
+	}
+	return keys, vals
+}
+
+// preload fills the store with loadN distinct even keys scattered uniformly
+// over the slot space through the batch path (untimed setup).
+func preload(s BatchStore, loadN int, seed int64) {
+	if loadN == 0 {
+		return
+	}
+	keys, vals := preloadKeys(loadN, seed)
+	s.PutBatch(keys, vals)
+	if fl, ok := s.(Flusher); ok {
+		fl.Flush()
+	}
+}
+
+// freshKeys generates n distinct odd keys scattered uniformly over the slot
+// space — interleaved with but disjoint from the even preload keys, so every
+// ingested key is a genuine insert and a batch touches gates across the
+// whole array.
+func freshKeys(n int, seed int64) (keys, vals []int64) {
+	keys = make([]int64, n)
+	vals = make([]int64, n)
+	for i := range keys {
+		keys[i] = 2*((int64(i)*0x9E3779B1+seed)&(ingestSlots-1)) + 1
+		vals[i] = int64(i)
+	}
+	return keys, vals
+}
+
+// clusteredKeys generates n distinct odd keys as runs of clusterLen adjacent
+// slots, the cluster positions scattered uniformly — fresh inserts that
+// arrive in localised runs, as real bulk ingests do.
+func clusteredKeys(n, clusterLen int, seed int64) (keys, vals []int64) {
+	keys = make([]int64, n)
+	vals = make([]int64, n)
+	numClusters := int64(ingestSlots / clusterLen)
+	ci := int64(0)
+	for i := 0; i < n; i += clusterLen {
+		cid := (ci*0x9E3779B1 + seed) & (numClusters - 1)
+		ci++
+		base := cid * int64(clusterLen)
+		for j := 0; j < clusterLen && i+j < n; j++ {
+			keys[i+j] = 2*(base+int64(j)) + 1
+			vals[i+j] = base
+		}
+	}
+	return keys, vals
+}
+
+// ingestKeys dispatches on clusterLen: 0 = scattered, else clustered.
+func ingestKeys(n, clusterLen int, seed int64) (keys, vals []int64) {
+	if clusterLen <= 0 {
+		return freshKeys(n, seed)
+	}
+	return clusteredKeys(n, clusterLen, seed)
+}
+
+// sortChunks key-sorts each batchSize-aligned chunk of keys/vals in place:
+// the arrival order of the sorted-ingest scenario (log shipping, sorted
+// file loads), prepared before the ingest clock starts.
+func sortChunks(keys, vals []int64, batchSize int) {
+	for off := 0; off < len(keys); off += batchSize {
+		end := min(off+batchSize, len(keys))
+		sort.Sort(pairSorter{keys[off:end], vals[off:end]})
+	}
+}
+
+type pairSorter struct{ k, v []int64 }
+
+func (p pairSorter) Len() int           { return len(p.k) }
+func (p pairSorter) Less(i, j int) bool { return p.k[i] < p.k[j] }
+func (p pairSorter) Swap(i, j int) {
+	p.k[i], p.k[j] = p.k[j], p.k[i]
+	p.v[i], p.v[j] = p.v[j], p.v[i]
+}

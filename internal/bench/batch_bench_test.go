@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"testing"
+
+	"pmago/internal/core"
+)
+
+// The acceptance numbers for the batch subsystem (PutBatch >= 5x point Puts
+// at batch size 10k, BulkLoad of 1M keys >= 10x of 1M point Puts) are
+// measured with these benchmarks / the pmabench batch experiment; see
+// internal/bench/README.md for recorded runs.
+
+// benchClusterLen is the headline ingest shape: runs of 128 adjacent keys
+// (one vertex's edges, one telemetry time window) at scattered positions.
+const benchClusterLen = 128
+
+func BenchmarkPutBatch(b *testing.B) {
+	benchIngest(b, true, benchClusterLen)
+}
+
+func BenchmarkPutBatchScattered(b *testing.B) {
+	benchIngest(b, true, 0)
+}
+
+func BenchmarkPutPoint(b *testing.B) {
+	benchIngest(b, false, benchClusterLen)
+}
+
+func BenchmarkPutPointScattered(b *testing.B) {
+	benchIngest(b, false, 0)
+}
+
+// benchIngest preloads 1M keys and ingests fresh keys in sorted 10k chunks,
+// reporting ns per ingested key.
+func benchIngest(b *testing.B, batched bool, clusterLen int) {
+	const batchSize = 10_000
+	loadK, loadV := preloadKeys(1_000_000, 42)
+	s, err := core.BulkLoad(PaperPMAConfig(), loadK, loadV)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Close()
+	keys, vals := ingestKeys(batchSize*max(b.N, 1), clusterLen, 42)
+	sortChunks(keys, vals, batchSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		chunkK := keys[i*batchSize : (i+1)*batchSize]
+		chunkV := vals[i*batchSize : (i+1)*batchSize]
+		if batched {
+			s.PutBatch(chunkK, chunkV)
+		} else {
+			for j := range chunkK {
+				s.Put(chunkK[j], chunkV[j])
+			}
+		}
+	}
+	s.Flush()
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*batchSize), "ns/key")
+}
+
+func BenchmarkBulkLoad1M(b *testing.B) {
+	keys, vals := freshKeys(1_000_000, 7)
+	sortChunks(keys, vals, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := core.BulkLoad(PaperPMAConfig(), keys, vals)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Close()
+	}
+}
+
+func BenchmarkPointLoad1M(b *testing.B) {
+	keys, vals := freshKeys(1_000_000, 7)
+	sortChunks(keys, vals, len(keys))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := core.MustNew(PaperPMAConfig())
+		for j := range keys {
+			p.Put(keys[j], vals[j])
+		}
+		p.Flush()
+		p.Close()
+	}
+}
+
+// TestBatchAdapters checks both sides of AsBatch: the PMA's native batch
+// path and the point-loop fallback produce the same store contents.
+func TestBatchAdapters(t *testing.T) {
+	native := AsBatch(core.MustNew(PaperPMAConfig()))
+	fallback := AsBatch(PointOnly(core.MustNew(PaperPMAConfig())))
+	if _, ok := any(native).(pointBatch); ok {
+		t.Fatal("PMA should use its native batch path")
+	}
+	if _, ok := any(fallback).(pointBatch); !ok {
+		t.Fatal("PointOnly store should get the loop adapter")
+	}
+	keys := []int64{5, 1, 9, 1}
+	vals := []int64{50, 10, 90, 11}
+	for _, s := range []BatchStore{native, fallback} {
+		s.PutBatch(keys, vals)
+		if fl, ok := s.(Flusher); ok {
+			fl.Flush()
+		}
+		if v, ok := s.Get(1); !ok || v != 11 {
+			t.Fatalf("Get(1) = %d,%v", v, ok)
+		}
+		if n := s.DeleteBatch([]int64{5, 7}); n != 1 {
+			t.Fatalf("DeleteBatch = %d", n)
+		}
+		if s.Len() != 2 {
+			t.Fatalf("Len = %d", s.Len())
+		}
+		if c, ok := s.(Closer); ok {
+			c.Close()
+		}
+	}
+}
+
+// TestBatchComparisonReport runs a scaled-down batch-vs-point comparison and
+// logs the measured speedups. The hard acceptance thresholds are verified
+// with the full-size benchmarks above (timing asserts in unit tests would
+// flake on loaded CI machines).
+func TestBatchComparisonReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing report")
+	}
+	res := RunBatchComparison(200_000, 50_000, 10_000, benchClusterLen, 1)
+	t.Logf("PutBatch clustered: point %.2f Mkeys/s, batch %.2f Mkeys/s, speedup %.1fx",
+		res.PointPerSec/1e6, res.BatchPerSec/1e6, res.Speedup)
+	bulk := RunBulkComparison(200_000, 1)
+	t.Logf("BulkLoad %d keys: point %v, bulk %v, speedup %.1fx",
+		bulk.N, bulk.PointWall, bulk.BulkWall, bulk.Speedup)
+	if res.Speedup < 1 || bulk.Speedup < 1 {
+		t.Errorf("batch paths slower than point paths: batch %.2fx bulk %.2fx", res.Speedup, bulk.Speedup)
+	}
+}

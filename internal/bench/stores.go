@@ -1,7 +1,10 @@
 // Package bench is the experiment harness that regenerates the paper's
 // evaluation (Section 4): the thread-partitioned update/scan driver, the
 // store adapters for the four competitors, and the per-figure drivers used
-// by cmd/pmabench and the root benchmark suite.
+// by cmd/pmabench and the root benchmark suite. batch.go adds the
+// batch-subsystem comparisons (PutBatch and BulkLoad against their
+// point-update equivalents) and the BatchStore adapter; README.md in this
+// directory documents the methodology and recorded results.
 package bench
 
 import (

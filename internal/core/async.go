@@ -113,25 +113,56 @@ func (p *PMA) drainBatch(st *state, g *gate, ops []op) (reroute []op, released b
 		return reroute, false
 	}
 
-	// Hand the batch to the rebalancer. lastReb is read under the latch we
-	// still hold; then the latch is released with pQ left set.
-	notBefore := time.Unix(0, g.lastReb).Add(p.cfg.TDelay)
-	if time.Now().Before(notBefore) {
-		p.deferredBatches.Add(1)
-	} else {
-		notBefore = time.Time{}
+	p.handOffBatch(st, g, ins, false)
+	return reroute, true
+}
+
+// handOffBatch hands key-sorted insert ops to the rebalancer as a batch
+// request for gate g. The caller must hold the gate exclusively; the latch
+// is released with pQ left set so the queue keeps absorbing updates until
+// the rebalancer picks it up.
+//
+// On the asynchronous drain path (wait=false) the ops are prepended to the
+// queue — they are older than anything writers combined meanwhile — and the
+// request carries the gate's tdelay rate limit. On the synchronous batch
+// path (wait=true) the ops ride on the request itself so they supersede any
+// older op the master redistributes into the queue before pickup; the
+// request is immediate and the call blocks until it has been served.
+func (p *PMA) handOffBatch(st *state, g *gate, ins []op, wait bool) {
+	var notBefore time.Time
+	if !wait {
+		// lastReb is read under the latch we still hold.
+		nb := time.Unix(0, g.lastReb).Add(p.cfg.TDelay)
+		if time.Now().Before(nb) {
+			p.deferredBatches.Add(1)
+			notBefore = nb
+		}
 	}
+	req := &request{kind: reqBatch, st: st, g: g, notBefore: notBefore}
 	g.mu.Lock()
-	pending := make([]op, 0, len(ins)+len(g.q.ops))
-	pending = append(pending, ins...)
-	pending = append(pending, g.q.ops...)
-	g.q.ops = pending
+	switch {
+	case wait:
+		req.ins = ins
+		req.done = make(chan struct{})
+		if g.q == nil {
+			g.q = &opQueue{}
+		}
+	case g.q != nil:
+		pending := make([]op, 0, len(ins)+len(g.q.ops))
+		pending = append(pending, ins...)
+		pending = append(pending, g.q.ops...)
+		g.q.ops = pending
+	default:
+		g.q = &opQueue{ops: ins}
+	}
 	g.pendingBatch = true
 	g.lstate = lsFree
 	g.cond.Broadcast()
 	g.mu.Unlock()
-	p.reb.submit(&request{kind: reqBatch, st: st, g: g, notBefore: notBefore})
-	return reroute, true
+	p.reb.submit(req)
+	if wait {
+		<-req.done
+	}
 }
 
 // compactOps reduces an op sequence to its final effect per key (later ops

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"pmago/internal/epoch"
+	"pmago/internal/rma"
+)
+
+// This file is the batch-update subsystem. Point updates (write.go) pay the
+// full routing cost — epoch guard, index lookup, gate latch — once per key;
+// the batch entry points below pay it once per *gate*: the batch is sorted
+// and deduplicated, partitioned into per-gate runs along the fence keys, and
+// each run is merged into its gate's segments in a single pass. Only when a
+// run does not fit under the gate's calibrator threshold does the work fall
+// back to the centralised rebalancer, which merges the run during the global
+// rebalance it was going to perform anyway (Section 3.5's batch processing,
+// applied synchronously). BulkLoad skips the incremental machinery entirely
+// and lays a sorted dataset out at the calibrator tree's target density in
+// O(n).
+
+// PutBatch upserts all keys[i]/vals[i] pairs. Duplicate keys within the
+// batch collapse to their last occurrence, matching the effect of issuing
+// the Puts in order. The batch is partitioned by gate and each affected gate
+// is latched exactly once, so a batch is far cheaper than the equivalent
+// point-Put loop but is not atomic: a concurrent scan may observe a gate
+// that already carries its run next to one that does not. When PutBatch
+// returns the whole batch has been applied — displaced stragglers are
+// drained through a rebalancer barrier first — but updates to the same keys
+// from concurrent calls remain unordered with respect to the batch.
+func (p *PMA) PutBatch(keys, vals []int64) {
+	if len(keys) != len(vals) {
+		panic(fmt.Sprintf("core: PutBatch got %d keys but %d values", len(keys), len(vals)))
+	}
+	ops := make([]op, len(keys))
+	for i, k := range keys {
+		if k == rma.KeyMin || k == rma.KeyMax {
+			panic("core: cannot store sentinel key")
+		}
+		ops[i] = op{key: k, val: vals[i]}
+	}
+	ops = sortDedupOps(ops)
+	p.applyBatchParallel(ops)
+}
+
+// DeleteBatch removes every given key, reporting how many elements were
+// removed from the array. Sentinel keys and duplicates are ignored. Unlike
+// point Deletes in the asynchronous modes, the count is exact — deletions
+// only lower density, so every run is applied in place under its gate latch
+// — though concurrently combined updates absorbed from a gate's queue can
+// contribute to it.
+func (p *PMA) DeleteBatch(keys []int64) int {
+	ops := make([]op, 0, len(keys))
+	for _, k := range keys {
+		if k == rma.KeyMin || k == rma.KeyMax {
+			continue
+		}
+		ops = append(ops, op{key: k, del: true})
+	}
+	ops = sortDedupOps(ops)
+	return int(p.applyBatchParallel(ops))
+}
+
+// applyBatchParallel splits a key-sorted, deduplicated op slice into
+// contiguous chunks applied by concurrent workers — the batch-parallel
+// property a point-update loop cannot have: chunks cover disjoint key
+// ranges, every op still applies under its gate's latch, and at most the
+// two gates straddling a chunk boundary see more than one worker. Small
+// batches run inline.
+func (p *PMA) applyBatchParallel(ops []op) int64 {
+	n := len(ops)
+	if n == 0 {
+		return 0
+	}
+	const minChunk = 1024 // below this, goroutine handoff costs more than it buys
+	workers := runtime.GOMAXPROCS(0)
+	if workers > p.cfg.Workers {
+		workers = p.cfg.Workers
+	}
+	if workers > n/minChunk {
+		workers = n / minChunk
+	}
+	if workers <= 1 {
+		guard := p.epochs.Enter()
+		removed, handedOff := p.applyBatch(ops, ops, guard)
+		guard.Leave()
+		if handedOff {
+			p.barrier()
+		}
+		return removed
+	}
+	var removed atomic.Int64
+	var anyHandOff atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		chunk := ops[n*w/workers : n*(w+1)/workers]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			guard := p.epochs.Enter()
+			defer guard.Leave()
+			rem, handedOff := p.applyBatch(chunk, ops, guard)
+			removed.Add(rem)
+			if handedOff {
+				anyHandOff.Store(true)
+			}
+		}()
+	}
+	wg.Wait()
+	if anyHandOff.Load() {
+		p.barrier()
+	}
+	return removed.Load()
+}
+
+// barrier round-trips the rebalancer master. Because the master serves every
+// due zero-delay batch before reading its channel, a completed barrier means
+// every op this call displaced into another gate's queue (a rebalance moved
+// the fences mid-flight) has been applied — a later batch can therefore
+// never be overwritten by this batch's stragglers.
+func (p *PMA) barrier() {
+	req := &request{kind: reqBarrier, done: make(chan struct{})}
+	p.reb.submit(req)
+	<-req.done
+}
+
+// sortDedupOps puts ops in ascending key order keeping only the last op per
+// key (later updates supersede earlier ones, as in sequential application).
+// Already-sorted input — the common case for bulk ingest — is detected and
+// skips the sort.
+func sortDedupOps(ops []op) []op {
+	sorted, unique := true, true
+	for i := 1; i < len(ops); i++ {
+		if ops[i].key < ops[i-1].key {
+			sorted = false
+			break
+		}
+		if ops[i].key == ops[i-1].key {
+			unique = false
+		}
+	}
+	if sorted && unique { // already in batch form: skip the compaction pass
+		return ops
+	}
+	if !sorted {
+		slices.SortStableFunc(ops, func(a, b op) int {
+			switch {
+			case a.key < b.key:
+				return -1
+			case a.key > b.key:
+				return 1
+			default:
+				return 0
+			}
+		})
+	}
+	out := ops[:0]
+	for i := range ops {
+		if i+1 < len(ops) && ops[i+1].key == ops[i].key {
+			continue
+		}
+		out = append(out, ops[i])
+	}
+	return out
+}
+
+// applyBatch routes a key-sorted, deduplicated op slice gate by gate in
+// ascending key order, returning the number of elements deleted and whether
+// any run was handed to the rebalancer (the caller then barriers so no
+// displaced op outlives the call). all is the complete batch the slice
+// belongs to — the whole slice again, or the full op set when workers split
+// it — used to keep absorbed stale ops from clobbering any part of the
+// batch. Like the point-update path it restarts across resizes and walks
+// neighbours after a racy index read; unlike it, every op covered by one
+// gate's fences is handled under a single latch acquisition.
+func (p *PMA) applyBatch(ops, all []op, guard *epoch.Guard) (int64, bool) {
+	removedTotal := int64(0)
+	anyHandOff := false
+	rem := ops
+	for len(rem) > 0 {
+		st := p.state.Load()
+		gi := clampGate(st.index.Lookup(rem[0].key), len(st.gates))
+		for {
+			g := st.gates[gi]
+			g.lockX()
+			if g.invalid {
+				g.unlockX()
+				break // the array was resized: reload the state
+			}
+			if rem[0].key < g.fenceLo && gi > 0 {
+				g.unlockX()
+				gi--
+				continue
+			}
+			if rem[0].key > g.fenceHi && gi < len(st.gates)-1 {
+				g.unlockX()
+				gi++
+				continue
+			}
+			run := opRange(rem, g.fenceLo, g.fenceHi) // a prefix of rem
+			rem = rem[len(run):]
+			removed, leftovers, handedOff := p.applyGateBatch(st, g, run)
+			removedTotal += removed
+			anyHandOff = anyHandOff || handedOff
+			// Absorbed queue ops whose keys fall outside the gate's
+			// fences are replayed through the synchronous path, as
+			// drainQueue does — except keys the batch also carries
+			// (anywhere in it, including other workers' chunks): the
+			// absorbed op is older, and replaying it would clobber the
+			// batch's value.
+			for _, o := range leftovers {
+				if i := searchOps(all, o.key); i < len(all) && all[i].key == o.key {
+					continue
+				}
+				p.updateSyncInternal(o, guard)
+			}
+			break
+		}
+		guard.Refresh()
+	}
+	p.maybeRequestShrink(p.state.Load())
+	return removedTotal, anyHandOff
+}
+
+// applyGateBatch applies one gate's run while holding its latch exclusively
+// and releases the latch. Any ops parked in the gate's combining queue are
+// absorbed first — they are older than the batch and applying them later
+// would revert it (the batch wins per key through the dedup). Deletions go
+// first (they only lower density), then the insert run is merged with
+// escalating effort: per-segment single-pass merges, an in-chunk rebalance
+// merging the run (mergeLocal), and finally a hand-off to the rebalancer,
+// which merges the run into the global rebalance it performs —
+// applyGateBatch blocks until that completes. Absorbed ops routed outside
+// the fences are returned for the caller to replay, and handedOff reports
+// whether the rebalancer was involved (the batch caller then barriers).
+func (p *PMA) applyGateBatch(st *state, g *gate, run []op) (removed int64, leftovers []op, handedOff bool) {
+	g.mu.Lock()
+	if g.q != nil {
+		// A parked batch (pendingBatch) — we hold the latch, so no
+		// active writer owns the queue. Its outstanding rebalancer
+		// request completes vacuously on the emptied queue.
+		parked := g.q.ops
+		g.q = nil
+		g.pendingBatch = false
+		g.mu.Unlock()
+		merged := make([]op, 0, len(parked)+len(run))
+		merged = append(merged, parked...)
+		merged = append(merged, run...)
+		merged = sortDedupOps(merged)
+		run = opRange(merged, g.fenceLo, g.fenceHi)
+		if len(run) != len(merged) {
+			a := searchOps(merged, g.fenceLo)
+			leftovers = append(leftovers, merged[:a]...)
+			leftovers = append(leftovers, merged[a+len(run):]...)
+		}
+	} else {
+		g.mu.Unlock()
+	}
+	ins := run
+	if hasDeletes(run) {
+		ins = make([]op, 0, len(run))
+		for _, o := range run {
+			if !o.del {
+				ins = append(ins, o)
+				continue
+			}
+			if g.del(o.key) {
+				removed++
+			}
+		}
+		if removed > 0 {
+			st.card.Add(-removed)
+		}
+	}
+	if len(ins) == 0 {
+		g.unlockX()
+		return removed, leftovers, false
+	}
+	if delta, ok := g.mergeBySegment(ins); ok {
+		st.card.Add(int64(delta))
+		g.unlockX()
+		return removed, leftovers, false
+	}
+	if delta, ok := g.mergeLocal(st, ins); ok {
+		st.card.Add(int64(delta))
+		g.unlockX()
+		return removed, leftovers, false
+	}
+	// The run overflows the chunk. Clip so queue appends cannot stomp the
+	// caller's remaining ops, then hand the gate to the rebalancer.
+	p.handOffBatch(st, g, slices.Clip(ins), true)
+	return removed, leftovers, true
+}
+
+// searchOps returns the first index in key-sorted ops with key >= k.
+func searchOps(ops []op, k int64) int {
+	lo, hi := 0, len(ops)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if ops[m].key < k {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+func hasDeletes(ops []op) bool {
+	for _, o := range ops {
+		if o.del {
+			return true
+		}
+	}
+	return false
+}
+
+// BulkLoad builds a PMA already containing the given pairs. The elements are
+// sorted and deduplicated (later occurrences win, as with sequential Puts)
+// and written directly into a sparse array sized for the calibrator tree's
+// target density — O(n log n) for unsorted input, a single O(n) pass for
+// sorted input — instead of n point inserts with their O(n log² n) total
+// rebalancing work. The returned PMA is fully started; callers must Close it.
+func BulkLoad(cfg Config, keys, vals []int64) (*PMA, error) {
+	if len(keys) != len(vals) {
+		return nil, fmt.Errorf("core: BulkLoad got %d keys but %d values", len(keys), len(vals))
+	}
+	p, err := newShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ops := make([]op, len(keys))
+	for i, k := range keys {
+		if k == rma.KeyMin || k == rma.KeyMax {
+			return nil, fmt.Errorf("core: BulkLoad key %d is a reserved sentinel", k)
+		}
+		ops[i] = op{key: k, val: vals[i]}
+	}
+	ops = sortDedupOps(ops)
+	ks := make([]int64, len(ops))
+	vs := make([]int64, len(ops))
+	for i, o := range ops {
+		ks[i] = o.key
+		vs[i] = o.val
+	}
+	p.state.Store(p.buildLoadedState(ks, vs))
+	p.startServices()
+	return p, nil
+}
+
+// buildLoadedState lays the sorted unique pairs out across a fresh state
+// whose capacity puts the array at the midpoint of the root thresholds —
+// the same density a resize targets — with an even spread per segment.
+func (p *PMA) buildLoadedState(ks, vs []int64) *state {
+	n := len(ks)
+	target := (p.cfg.RhoRoot + p.cfg.TauRoot) / 2
+	numSegs := nextPow2(ceilDiv(max(n, 1), int(float64(p.cfg.SegmentCapacity)*target)))
+	if numSegs < p.cfg.SegmentsPerGate {
+		numSegs = p.cfg.SegmentsPerGate
+	}
+	st := p.newState(numSegs / p.cfg.SegmentsPerGate)
+	counts := rma.EvenCounts(n, numSegs)
+	plans := make([]destPlan, len(st.gates))
+	src := &sliceSource{ks: ks, vs: vs}
+	for i := range st.gates {
+		plans[i] = p.fillChunk(counts[i*st.spg:(i+1)*st.spg], st.b, src)
+	}
+	p.installState(st, plans, n)
+	return st
+}

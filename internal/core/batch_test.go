@@ -1,0 +1,381 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"pmago/internal/rma"
+)
+
+// checkAgainstModel verifies that the PMA holds exactly the model's pairs in
+// ascending key order and that every structural invariant holds.
+func checkAgainstModel(t *testing.T, p *PMA, model map[int64]int64, label string) {
+	t.Helper()
+	p.Flush()
+	if p.Len() != len(model) {
+		t.Fatalf("%s: Len = %d, want %d", label, p.Len(), len(model))
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	want := make([]int64, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	i := 0
+	p.ScanAll(func(k, v int64) bool {
+		if i >= len(want) {
+			t.Fatalf("%s: scan visited extra key %d", label, k)
+		}
+		if k != want[i] || v != model[k] {
+			t.Fatalf("%s: scan[%d] = %d/%d, want %d/%d", label, i, k, v, want[i], model[want[i]])
+		}
+		i++
+		return true
+	})
+	if i != len(want) {
+		t.Fatalf("%s: scan visited %d keys, want %d", label, i, len(want))
+	}
+}
+
+func TestPutBatchSorted(t *testing.T) {
+	for _, mode := range allModes() {
+		p := newTest(t, mode)
+		keys := make([]int64, 5000)
+		vals := make([]int64, 5000)
+		model := map[int64]int64{}
+		for i := range keys {
+			keys[i] = int64(i) * 3
+			vals[i] = int64(i) * 30
+			model[keys[i]] = vals[i]
+		}
+		p.PutBatch(keys, vals)
+		checkAgainstModel(t, p, model, mode.String()+"/sorted")
+	}
+}
+
+func TestPutBatchUnsorted(t *testing.T) {
+	for _, mode := range allModes() {
+		p := newTest(t, mode)
+		rng := rand.New(rand.NewSource(7))
+		keys := make([]int64, 4000)
+		vals := make([]int64, 4000)
+		model := map[int64]int64{}
+		for i := range keys {
+			keys[i] = rng.Int63n(1 << 40)
+			vals[i] = rng.Int63()
+			model[keys[i]] = vals[i]
+		}
+		p.PutBatch(keys, vals)
+		checkAgainstModel(t, p, model, mode.String()+"/unsorted")
+	}
+}
+
+func TestPutBatchDuplicatesLastWins(t *testing.T) {
+	p := newTest(t, ModeBatch)
+	keys := []int64{5, 1, 5, 3, 1, 5}
+	vals := []int64{50, 10, 51, 30, 11, 52}
+	p.PutBatch(keys, vals)
+	model := map[int64]int64{5: 52, 1: 11, 3: 30}
+	checkAgainstModel(t, p, model, "duplicates")
+}
+
+func TestPutBatchUpsertsExisting(t *testing.T) {
+	for _, mode := range allModes() {
+		p := newTest(t, mode)
+		keys := make([]int64, 3000)
+		vals := make([]int64, 3000)
+		model := map[int64]int64{}
+		for i := range keys {
+			keys[i] = int64(i)
+			vals[i] = 1
+			model[keys[i]] = 1
+		}
+		p.PutBatch(keys, vals)
+		// Re-put every key with a new value: pure replaces, no growth.
+		for i := range vals {
+			vals[i] = 2
+			model[keys[i]] = 2
+		}
+		p.Flush()
+		before := p.Len()
+		p.PutBatch(keys, vals)
+		p.Flush()
+		if p.Len() != before {
+			t.Fatalf("%v: upsert batch changed Len %d -> %d", mode, before, p.Len())
+		}
+		checkAgainstModel(t, p, model, mode.String()+"/upsert")
+	}
+}
+
+func TestPutBatchSpanningManyGates(t *testing.T) {
+	p := newTest(t, ModeBatch)
+	// Grow the array so a later batch spans a large number of gates.
+	base := make([]int64, 40_000)
+	for i := range base {
+		base[i] = int64(i) * 10
+	}
+	p.PutBatch(base, base)
+	p.Flush()
+	if g := p.NumGates(); g < 32 {
+		t.Fatalf("want many gates after load, got %d", g)
+	}
+	model := map[int64]int64{}
+	for _, k := range base {
+		model[k] = k
+	}
+	// Interleaved fresh keys hit every gate in one batch.
+	keys := make([]int64, 40_000)
+	vals := make([]int64, 40_000)
+	for i := range keys {
+		keys[i] = int64(i)*10 + 5
+		vals[i] = int64(i)
+		model[keys[i]] = vals[i]
+	}
+	p.PutBatch(keys, vals)
+	checkAgainstModel(t, p, model, "spanning")
+}
+
+func TestPutBatchOverflowFallsBackToRebalancer(t *testing.T) {
+	p := newTest(t, ModeSync)
+	// One giant batch into a minimal array cannot fit any chunk: the gate
+	// hand-off must trigger global rebalances/resizes via the rebalancer.
+	keys := make([]int64, 10_000)
+	vals := make([]int64, 10_000)
+	model := map[int64]int64{}
+	for i := range keys {
+		keys[i] = int64(i)
+		vals[i] = int64(-i)
+		model[keys[i]] = vals[i]
+	}
+	p.PutBatch(keys, vals)
+	st := p.Stats()
+	if st.Resizes == 0 {
+		t.Fatalf("expected resizes from batch overflow, got %+v", st)
+	}
+	checkAgainstModel(t, p, model, "overflow")
+}
+
+func TestDeleteBatchExactCount(t *testing.T) {
+	for _, mode := range allModes() {
+		p := newTest(t, mode)
+		keys := make([]int64, 8000)
+		for i := range keys {
+			keys[i] = int64(i)
+		}
+		p.PutBatch(keys, keys)
+		p.Flush()
+
+		// Delete every third key plus some misses and duplicates.
+		var dels []int64
+		model := map[int64]int64{}
+		for _, k := range keys {
+			model[k] = k
+		}
+		want := 0
+		for i := int64(0); i < 8000; i += 3 {
+			dels = append(dels, i, i, i+100_000) // dup + miss
+			if _, ok := model[i]; ok {
+				delete(model, i)
+				want++
+			}
+		}
+		if got := p.DeleteBatch(dels); got != want {
+			t.Fatalf("%v: DeleteBatch = %d, want %d", mode, got, want)
+		}
+		checkAgainstModel(t, p, model, mode.String()+"/delete")
+	}
+}
+
+func TestDeleteBatchTriggersShrink(t *testing.T) {
+	p := newTest(t, ModeSync)
+	keys := make([]int64, 30_000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	p.PutBatch(keys, keys)
+	p.Flush()
+	capBefore := p.Capacity()
+	if got := p.DeleteBatch(keys[:29_000]); got != 29_000 {
+		t.Fatalf("DeleteBatch = %d", got)
+	}
+	// The master serves requests in order, so a Flush round-trip drains
+	// the shrink request DeleteBatch submitted.
+	p.Flush()
+	if p.Capacity() >= capBefore {
+		t.Fatalf("capacity %d did not shrink from %d", p.Capacity(), capBefore)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchMixedRandomAgainstModel(t *testing.T) {
+	// Random op stream applied in chunks via PutBatch/DeleteBatch must
+	// match the model that applies the same chunks in order.
+	for _, mode := range allModes() {
+		p := newTest(t, mode)
+		rng := rand.New(rand.NewSource(99))
+		model := map[int64]int64{}
+		for round := 0; round < 30; round++ {
+			n := 1 + rng.Intn(700)
+			if rng.Intn(3) == 0 {
+				dels := make([]int64, n)
+				for i := range dels {
+					dels[i] = rng.Int63n(5000)
+					delete(model, dels[i])
+				}
+				p.DeleteBatch(dels)
+			} else {
+				keys := make([]int64, n)
+				vals := make([]int64, n)
+				for i := range keys {
+					keys[i] = rng.Int63n(5000)
+					vals[i] = rng.Int63()
+					model[keys[i]] = vals[i]
+				}
+				p.PutBatch(keys, vals)
+			}
+		}
+		checkAgainstModel(t, p, model, mode.String()+"/mixed")
+	}
+}
+
+func TestBulkLoadBasic(t *testing.T) {
+	keys := make([]int64, 50_000)
+	vals := make([]int64, 50_000)
+	model := map[int64]int64{}
+	for i := range keys {
+		keys[i] = int64(i) * 7
+		vals[i] = int64(i)
+		model[keys[i]] = vals[i]
+	}
+	p, err := BulkLoad(testConfig(ModeBatch), keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	checkAgainstModel(t, p, model, "bulkload")
+
+	// The load density must sit between the root thresholds, like a resize.
+	fill := float64(p.Len()) / float64(p.Capacity())
+	if fill < 0.30 || fill > 0.80 {
+		t.Fatalf("bulk load fill factor %.2f outside sane range", fill)
+	}
+
+	// The store must remain fully usable for point updates afterwards.
+	for i := int64(0); i < 2000; i++ {
+		p.Put(i*7+1, i)
+		model[i*7+1] = i
+	}
+	checkAgainstModel(t, p, model, "bulkload+puts")
+}
+
+func TestBulkLoadUnsortedWithDuplicates(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	keys := make([]int64, 20_000)
+	vals := make([]int64, 20_000)
+	model := map[int64]int64{}
+	for i := range keys {
+		keys[i] = rng.Int63n(8000) // plenty of duplicates
+		vals[i] = int64(i)
+		model[keys[i]] = vals[i] // later occurrence wins, as documented
+	}
+	p, err := BulkLoad(testConfig(ModeSync), keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	checkAgainstModel(t, p, model, "bulkload-dups")
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	p, err := BulkLoad(testConfig(ModeBatch), nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Len() != 0 {
+		t.Fatalf("Len = %d", p.Len())
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(1, 2)
+	p.Flush()
+	if v, ok := p.Get(1); !ok || v != 2 {
+		t.Fatalf("Get after empty bulk load = %d,%v", v, ok)
+	}
+}
+
+func TestBulkLoadErrors(t *testing.T) {
+	if _, err := BulkLoad(testConfig(ModeBatch), []int64{1, 2}, []int64{1}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := BulkLoad(testConfig(ModeBatch), []int64{rma.KeyMin}, []int64{1}); err == nil {
+		t.Fatal("sentinel key accepted")
+	}
+}
+
+func TestPutBatchPanics(t *testing.T) {
+	p := newTest(t, ModeBatch)
+	mustPanic(t, func() { p.PutBatch([]int64{1, 2}, []int64{1}) })
+	mustPanic(t, func() { p.PutBatch([]int64{rma.KeyMax}, []int64{1}) })
+}
+
+func mustPanic(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	fn()
+}
+
+// TestBatchAbsorbsParkedQueue reproduces the program-order hazard the batch
+// path must avoid: ops parked in a gate's combining queue (as an overflowing
+// drain or a redistribution leaves them) are older than a later batch. The
+// batch must absorb them — applying them, but never letting them overwrite
+// its own newer values or resurrect its deletions.
+func TestBatchAbsorbsParkedQueue(t *testing.T) {
+	p := newTest(t, ModeBatch)
+	p.Put(100, 1)
+	p.Flush()
+	park := func(ops []op) {
+		st := p.state.Load()
+		g := st.gates[clampGate(st.index.Lookup(ops[0].key), len(st.gates))]
+		g.mu.Lock()
+		g.q = &opQueue{ops: ops}
+		g.pendingBatch = true
+		g.mu.Unlock()
+	}
+
+	// A newer PutBatch wins over the parked older write to the same key
+	// and applies the unrelated parked op.
+	park([]op{{key: 100, val: 2}, {key: 300, val: 2}})
+	p.PutBatch([]int64{100}, []int64{3})
+	p.Flush()
+	if v, ok := p.Get(100); !ok || v != 3 {
+		t.Fatalf("Get(100) = %d,%v, want 3: parked older op overwrote a newer batch", v, ok)
+	}
+	if v, ok := p.Get(300); !ok || v != 2 {
+		t.Fatalf("Get(300) = %d,%v, want 2: parked op was lost", v, ok)
+	}
+
+	// A newer DeleteBatch cancels a parked insert instead of being
+	// resurrected by it.
+	park([]op{{key: 400, val: 5}})
+	if n := p.DeleteBatch([]int64{400}); n != 0 {
+		t.Fatalf("DeleteBatch(400) = %d, want 0 (cancelled parked insert was never applied)", n)
+	}
+	p.Flush()
+	if _, ok := p.Get(400); ok {
+		t.Fatal("parked insert resurrected a key deleted by a newer DeleteBatch")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,12 @@
 // pointer with epoch-based garbage collection (Section 3.4). Skewed writers
 // are decoupled through per-gate combining queues with one-by-one or batch
 // processing and a tdelay rate limit on global rebalances (Section 3.5).
+//
+// Beyond the paper, batch.go adds a client-facing batch subsystem
+// (PutBatch, DeleteBatch, BulkLoad): sorted batches are partitioned along
+// the gate fences so each affected gate is latched once and its run merged
+// in a single pass, reusing the Section 3.5 machinery only when a run
+// overflows its chunk.
 package core
 
 import (
@@ -184,6 +190,19 @@ type PMA struct {
 // New creates an empty concurrent PMA and starts its service goroutines
 // (rebalancer master, worker pool, epoch collector). Callers must Close it.
 func New(cfg Config) (*PMA, error) {
+	p, err := newShell(cfg)
+	if err != nil {
+		return nil, err
+	}
+	p.state.Store(p.newState(1))
+	p.startServices()
+	return p, nil
+}
+
+// newShell normalises and validates the configuration and allocates the PMA
+// without a state or running services. New and BulkLoad install their state
+// (empty, or pre-filled at target density) before calling startServices.
+func newShell(cfg Config) (*PMA, error) {
 	if cfg.SegmentCapacity == 0 { // fill zero fields from the default
 		def := DefaultConfig()
 		def.Mode = cfg.Mode
@@ -201,16 +220,20 @@ func New(cfg Config) (*PMA, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	p := &PMA{
+	return &PMA{
 		cfg:      cfg,
 		adaptive: cfg.Adaptive || cfg.Mode == ModeOneByOne,
 		pool:     rewire.NewPool(cfg.SegmentsPerGate*cfg.SegmentCapacity, 4*cfg.Workers+16),
 		epochs:   epoch.NewManager(),
-	}
-	p.state.Store(p.newState(1))
-	p.gc = p.epochs.StartCollector(cfg.GCInterval)
-	p.reb = newRebalancer(p, cfg.Workers)
-	return p, nil
+	}, nil
+}
+
+// startServices launches the epoch collector and the rebalancer. The state
+// must be installed first: the rebalancer dereferences it on its first
+// request.
+func (p *PMA) startServices() {
+	p.gc = p.epochs.StartCollector(p.cfg.GCInterval)
+	p.reb = newRebalancer(p, p.cfg.Workers)
 }
 
 // MustNew is New for configurations known statically valid.

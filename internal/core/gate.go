@@ -360,6 +360,94 @@ func (g *gate) refreshMinima(ws, we int) {
 	}
 }
 
+// searchKeys returns the first index i with a[i] >= k. Manual binary search:
+// the sort.Search closure is a measurable cost on the batch hot path.
+func searchKeys(a []int64, k int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if a[m] < k {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// mergeBySegment is the cheapest batch-insert path: the key-sorted,
+// deduplicated run (all within this gate's fences) is partitioned into
+// per-segment groups, and when every target segment can absorb its group's
+// genuinely new keys within capacity, each segment is rewritten with one
+// backward merge pass — no window search, no rebalance, and elements below
+// the group's lowest insertion point are never touched. Returns the number
+// of newly created elements and whether the run fit; on false nothing was
+// modified.
+func (g *gate) mergeBySegment(ins []op) (int, bool) {
+	type group struct {
+		s, lo, hi int // ins[lo:hi] targets segment s
+		fresh     int // keys in the group not already stored
+	}
+	groups := make([]group, 0, g.spg)
+	for lo := 0; lo < len(ins); {
+		s := g.findSeg(ins[lo].key)
+		hi := lo + 1
+		for hi < len(ins) && g.findSeg(ins[hi].key) == s {
+			hi++
+		}
+		keys := g.buf.Keys[s*g.b : s*g.b+g.segCard[s]]
+		fresh := 0
+		for _, o := range ins[lo:hi] {
+			i := searchKeys(keys, o.key)
+			if i == len(keys) || keys[i] != o.key {
+				fresh++
+			}
+		}
+		if g.segCard[s]+fresh > g.b {
+			return 0, false
+		}
+		groups = append(groups, group{s: s, lo: lo, hi: hi, fresh: fresh})
+		lo = hi
+	}
+	delta := 0
+	for _, gr := range groups {
+		base := gr.s * g.b
+		run := ins[gr.lo:gr.hi]
+		c := g.segCard[gr.s]
+		keys := g.buf.Keys[base : base+g.b]
+		vals := g.buf.Vals[base : base+g.b]
+		// Merge from the back, block-moving the span of existing elements
+		// between consecutive insertion points so each element moves at
+		// most once via copy. E[0:i] is the untouched original prefix; w
+		// is one past the next final slot to fill; w-i equals the fresh
+		// inserts still to place.
+		i, w := c, c+gr.fresh
+		for j := len(run) - 1; j >= 0; j-- {
+			k := run[j].key
+			up := searchKeys(keys[:i], k+1) // first index with key > k
+			if t := i - up; t > 0 && w != i {
+				copy(keys[w-t:w], keys[up:i])
+				copy(vals[w-t:w], vals[up:i])
+			}
+			w -= i - up
+			i = up
+			if i > 0 && keys[i-1] == k {
+				i-- // upsert: the existing element is consumed
+			}
+			w--
+			keys[w] = k
+			vals[w] = run[j].val
+		}
+		g.segCard[gr.s] = c + gr.fresh
+		g.gcard += gr.fresh
+		delta += gr.fresh
+		if g.smin[gr.s] != keys[0] {
+			g.setSegMin(gr.s, keys[0])
+		}
+	}
+	return delta, true
+}
+
 // mergeLocal applies key-sorted, deduplicated insert ops (all within this
 // gate's fences) by rebalancing the smallest in-chunk calibrator window that
 // fits them, merging the insertions during the spread — the second pass of

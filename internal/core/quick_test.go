@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 )
@@ -76,5 +78,96 @@ func TestQuickModelEquivalence(t *testing.T) {
 	}
 	if err := quick.Check(property, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestQuickConcurrentPutBatchScan checks the batch/scan consistency
+// contract: while a writer replaces every value with generation-stamped
+// batches, concurrent scans must always observe the full sorted key set
+// with no duplicates or tears, every value must be a valid generation, and
+// the value seen for a key must never move backwards between scans
+// (per-gate atomicity means a scan may mix generations, but generations
+// only advance).
+func TestQuickConcurrentPutBatchScan(t *testing.T) {
+	for _, mode := range allModes() {
+		p := newTest(t, mode)
+		const n = 20_000
+		const gens = 25
+		keys := make([]int64, n)
+		vals := make([]int64, n)
+		for i := range keys {
+			keys[i] = int64(i) * 3
+		}
+		p.PutBatch(keys, vals) // generation 0
+		p.Flush()
+
+		var maxGen atomic.Int64
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for gen := int64(1); gen <= gens; gen++ {
+				for i := range vals {
+					vals[i] = gen
+				}
+				p.PutBatch(keys, vals)
+				maxGen.Store(gen)
+			}
+		}()
+
+		var wg sync.WaitGroup
+		errCh := make(chan string, 4)
+		report := func(msg string) {
+			select {
+			case errCh <- msg:
+			default:
+			}
+		}
+		for s := 0; s < 2; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				last := make([]int64, n) // highest generation seen per key
+				for {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					i := 0
+					prev := int64(-1)
+					bad := false
+					p.ScanAll(func(k, v int64) bool {
+						if k <= prev || i >= n || k != keys[i] {
+							report("scan saw torn or out-of-order keys")
+							bad = true
+							return false
+						}
+						if v < last[i] || v > maxGen.Load()+1 {
+							report("scan saw value from an impossible generation")
+							bad = true
+							return false
+						}
+						last[i] = v
+						prev = k
+						i++
+						return true
+					})
+					if !bad && i != n {
+						report("scan missed keys")
+					}
+				}
+			}()
+		}
+		<-done
+		wg.Wait()
+		select {
+		case msg := <-errCh:
+			t.Fatalf("mode %v: %s", mode, msg)
+		default:
+		}
+		p.Flush()
+		if err := p.Validate(); err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
 	}
 }

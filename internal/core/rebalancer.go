@@ -17,6 +17,7 @@ const (
 	reqBatch                       // a gate's combining queue needs a global merge
 	reqShrink                      // occupancy dropped below the downsize threshold
 	reqFlushDelayed                // force all delayed batches through (Flush)
+	reqBarrier                     // no-op: completes once everything ahead of it ran
 )
 
 // request is one unit of work submitted to the master.
@@ -27,7 +28,10 @@ type request struct {
 	gen       uint64    // g.rebGen at submission; stale requests complete vacuously
 	pending   int       // inserts the rebalanced window must make room for
 	notBefore time.Time // batch rate limiting (tdelay); zero = immediate
-	done      chan struct{}
+	ins       []op      // a synchronous batch's key-sorted inserts (reqBatch);
+	// carried on the request rather than the queue so they supersede any op
+	// redistributed into the gate's queue before pickup
+	done chan struct{}
 }
 
 // rebalancer is the centralised service of Section 3.3: a single master
@@ -159,14 +163,16 @@ func (r *rebalancer) earliestDelayed() int {
 }
 
 // shutdown applies everything still pending so accepted updates are not
-// lost, then drains the channel.
+// lost: delayed batches and channel requests are drained together, since
+// handling either can redistribute displaced ops into new delayed entries.
 func (r *rebalancer) shutdown() {
-	for len(r.delayed) > 0 {
-		d := r.delayed[0]
-		r.delayed = r.delayed[1:]
-		r.handle(d)
-	}
 	for {
+		if len(r.delayed) > 0 {
+			d := r.delayed[0]
+			r.delayed = r.delayed[1:]
+			r.handle(d)
+			continue
+		}
 		select {
 		case req := <-r.ch:
 			if req.kind == reqFlushDelayed {
@@ -183,18 +189,29 @@ func (r *rebalancer) shutdown() {
 // handle serves one request; updates that had to be re-routed because
 // fences moved are redistributed into their new gates' combining queues in
 // bulk (applying them one by one could trigger a global rebalance per op).
+// Redistribution happens before the requester is released so that by the
+// time a synchronous waiter (requestGlobalAndWait, handOffBatch with wait)
+// resumes, every displaced op is at least parked in a queue a later batch
+// will absorb.
 func (r *rebalancer) handle(req *request) {
 	leftovers := r.process(req)
-	r.complete(req)
 	if len(leftovers) > 0 {
 		r.redistribute(leftovers)
 	}
+	r.complete(req)
 }
 
 // redistribute routes misdirected ops to their current gates and parks them
 // in combining queues, scheduling immediate batch requests to apply them.
 // Fence keys only move under this (single) master goroutine, so routing
 // reads them without latches.
+//
+// Parked ops carry no version: if a later update to the same key lands at
+// the new gate before the scheduled batch drains, the replay applies the
+// older value — the documented unordered caveat for concurrent updates.
+// Batch callers stay ordered despite this: they absorb same-gate queues,
+// filter their own keys from leftovers, and barrier the master after any
+// hand-off, so none of their ops is still parked when the call returns.
 func (r *rebalancer) redistribute(ops []op) {
 	p := r.p
 	st := p.state.Load()
@@ -232,6 +249,12 @@ func (r *rebalancer) redistribute(ops []op) {
 // re-routed through the normal update path.
 func (r *rebalancer) process(req *request) []op {
 	p := r.p
+	if req.kind == reqBarrier {
+		// Nothing to do: the master reads its channel only when no due
+		// delayed batch remains, so reaching this request means every
+		// zero-delay redistribution queued before it has been applied.
+		return nil
+	}
 	if req.kind == reqShrink {
 		r.maybeShrink()
 		p.shrinkPending.Store(false)
@@ -241,14 +264,15 @@ func (r *rebalancer) process(req *request) []op {
 	if req.st != st {
 		// The array was resized since submission: queues were absorbed
 		// into the rebuild and waiting writers retry against the new
-		// state.
-		return nil
+		// state. Request-carried batch inserts were NOT in any queue, so
+		// they re-route into the current state's gates.
+		return req.ins
 	}
 	g := req.g
 	g.rebLock()
 	if g.invalid {
 		g.rebUnlock()
-		return nil
+		return req.ins
 	}
 	if req.kind == reqRebalance && g.rebGen != req.gen {
 		// A covering rebalance already ran; the writer just retries.
@@ -256,8 +280,12 @@ func (r *rebalancer) process(req *request) []op {
 		return nil
 	}
 
-	// Absorb the gate's combining queue into this job.
+	// Absorb the gate's combining queue into this job. The request's own
+	// batch inserts go after the queue ops: compactOps keeps the later op
+	// per key, so the synchronous batch supersedes anything older that was
+	// redistributed into the queue between hand-off and pickup.
 	ops := r.detachQueue(g)
+	ops = append(ops, req.ins...)
 	ins, dels, leftovers := compactOps(ops, g.fenceLo, g.fenceHi)
 
 	// Batch pass one: deletions only lower density, apply them in place.
@@ -434,11 +462,12 @@ type destPlan struct {
 }
 
 // fillChunk copies elements into a fresh buffer laid out per segCounts and
-// derives the chunk metadata.
-func (r *rebalancer) fillChunk(segCounts []int, b int, src elemSource) destPlan {
+// derives the chunk metadata. It is shared by the rebalancer's workers and
+// by BulkLoad's direct construction.
+func (p *PMA) fillChunk(segCounts []int, b int, src elemSource) destPlan {
 	spg := len(segCounts)
 	pl := destPlan{
-		buf:     r.p.pool.Get(),
+		buf:     p.pool.Get(),
 		segCard: make([]int, spg),
 		smin:    make([]int64, spg),
 	}
@@ -508,7 +537,7 @@ func (r *rebalancer) executeRebalance(st *state, glo, ghi int, ins []op) {
 			}
 			tasks[i] = func() {
 				cur := newGateCursor(st, glo, ghi, skip)
-				plans[i] = r.fillChunk(segCounts, st.b, cur)
+				plans[i] = r.p.fillChunk(segCounts, st.b, cur)
 			}
 		}
 		r.parallel(tasks)
@@ -535,7 +564,7 @@ func (r *rebalancer) executeRebalance(st *state, glo, ghi int, ins []op) {
 		}
 		tasks[i] = func() {
 			src := &sliceSource{ks: r.scratchK, vs: r.scratchV, off: skip}
-			plans[i] = r.fillChunk(segCounts, st.b, src)
+			plans[i] = r.p.fillChunk(segCounts, st.b, src)
 		}
 	}
 	r.parallel(tasks)
@@ -696,15 +725,38 @@ func (r *rebalancer) resize(st *state, heldLo, heldHi int, ins []op, grow bool) 
 		}
 		tasks[i] = func() {
 			src := &sliceSource{ks: r.scratchK, vs: r.scratchV, off: skip}
-			plans[i] = r.fillChunk(segCounts, st.b, src)
+			plans[i] = r.p.fillChunk(segCounts, st.b, src)
 		}
 	}
 	r.parallel(tasks)
 
 	// Install plans and fences on the new state (not yet visible).
+	p.installState(newSt, plans, total)
+
+	p.state.Store(newSt)
+
+	// Invalidate and release the old gates; waiting clients observe the
+	// invalid flag and restart against the new state in a fresh epoch.
+	for _, g := range st.gates {
+		g.mu.Lock()
+		g.invalid = true
+		g.lstate = lsFree
+		g.cond.Broadcast()
+		g.mu.Unlock()
+		p.pool.Put(g.buf)
+	}
+	p.epochs.Retire(func() {})
+	p.resizes.Add(1)
+}
+
+// installState wires freshly built chunk plans into a not-yet-published
+// state: buffers, per-chunk metadata, fence keys (right to left, each
+// interior boundary at the first key its gate stores) and the mirroring
+// index separators. Shared by resize and BulkLoad's direct construction.
+func (p *PMA) installState(st *state, plans []destPlan, total int) {
 	nextLo := int64(rma.KeyMax)
-	for i := mNew - 1; i >= 0; i-- {
-		g := newSt.gates[i]
+	for i := len(st.gates) - 1; i >= 0; i-- {
+		g := st.gates[i]
 		p.pool.Put(g.buf) // replace the placeholder buffer from newState
 		pl := plans[i]
 		g.buf = pl.buf
@@ -724,25 +776,10 @@ func (r *rebalancer) resize(st *state, heldLo, heldHi int, ins []op, grow bool) 
 			lo = rma.KeyMin
 		}
 		g.fenceLo = lo
-		newSt.index.Set(i, lo)
+		st.index.Set(i, lo)
 		nextLo = lo
 	}
-	newSt.card.Store(int64(total))
-
-	p.state.Store(newSt)
-
-	// Invalidate and release the old gates; waiting clients observe the
-	// invalid flag and restart against the new state in a fresh epoch.
-	for _, g := range st.gates {
-		g.mu.Lock()
-		g.invalid = true
-		g.lstate = lsFree
-		g.cond.Broadcast()
-		g.mu.Unlock()
-		p.pool.Put(g.buf)
-	}
-	p.epochs.Retire(func() {})
-	p.resizes.Add(1)
+	st.card.Store(int64(total))
 }
 
 // maybeShrink re-validates the downsize condition and performs the resize.

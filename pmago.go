@@ -1,23 +1,3 @@
-// Package pmago is a Go implementation of the concurrent Packed Memory
-// Array of "Fast Concurrent Reads and Updates with PMAs" (De Leo & Boncz,
-// GRADES-NDA 2019): a sorted key/value store over a gapped dense array that
-// serves range scans at sequential-memory speed while supporting concurrent
-// updates through gated latching, a centralised master/worker rebalancer,
-// epoch-based resizes, and optional asynchronous update combining.
-//
-// Quick start:
-//
-//	p, err := pmago.New()
-//	if err != nil { ... }
-//	defer p.Close()
-//	p.Put(42, 1)
-//	v, ok := p.Get(42)
-//	p.Scan(0, 100, func(k, v int64) bool { ...; return true })
-//
-// The zero-configuration store uses the paper's evaluation setup: 128-slot
-// segments, 8 segments per gate, batch-combined asynchronous updates with a
-// 100 ms rebalance delay. Use options to select the synchronous or
-// one-by-one modes, or to retune the geometry.
 package pmago
 
 import (
@@ -98,6 +78,24 @@ func New(opts ...Option) (*PMA, error) {
 	return &PMA{c: c}, nil
 }
 
+// BulkLoad creates a PMA already containing the given pairs, laying the
+// sorted data out directly at the array's target density in a single pass
+// instead of len(keys) point inserts — the fast path for loading a graph,
+// restoring a snapshot, or backfilling telemetry. Unsorted input is sorted
+// first; duplicate keys collapse to their last occurrence, matching the
+// effect of sequential Puts. The returned PMA must be Closed like any other.
+func BulkLoad(keys, vals []int64, opts ...Option) (*PMA, error) {
+	cfg := core.DefaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	c, err := core.BulkLoad(cfg, keys, vals)
+	if err != nil {
+		return nil, err
+	}
+	return &PMA{c: c}, nil
+}
+
 // Close stops the rebalancer and garbage-collector goroutines, applying any
 // still-pending combined updates first. The PMA must not be used afterwards.
 func (p *PMA) Close() { p.c.Close() }
@@ -113,6 +111,23 @@ func (p *PMA) Get(k int64) (int64, bool) { return p.c.Get(k) }
 // Delete removes k, reporting whether an element was removed (deferred
 // deletes report true optimistically; see Put).
 func (p *PMA) Delete(k int64) bool { return p.c.Delete(k) }
+
+// PutBatch upserts all keys[i]/vals[i] pairs as one sorted batch: the batch
+// is partitioned along the gate fence keys and each affected gate is latched
+// and merged exactly once, which is substantially cheaper than the
+// equivalent point-Put loop. Duplicate keys collapse to their last
+// occurrence. The whole batch is applied when PutBatch returns, but it is
+// not atomic: a concurrent scan may observe some gates with their run
+// applied and others without, and concurrent updates to the same key
+// through other calls are unordered with respect to the batch (as with
+// combined updates; see Put). Panics on sentinel keys or mismatched slice
+// lengths.
+func (p *PMA) PutBatch(keys, vals []int64) { p.c.PutBatch(keys, vals) }
+
+// DeleteBatch removes all given keys as one sorted batch, returning the
+// exact number of elements removed. Duplicates and sentinel keys are
+// ignored.
+func (p *PMA) DeleteBatch(keys []int64) int { return p.c.DeleteBatch(keys) }
 
 // Scan visits all pairs with lo <= key <= hi in ascending key order until
 // fn returns false. fn runs under a shared gate latch: it must not update

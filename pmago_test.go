@@ -137,3 +137,60 @@ func TestGraphPublicAPI(t *testing.T) {
 		t.Fatal("neighbors unsorted")
 	}
 }
+
+func TestPublicBatchAPI(t *testing.T) {
+	p := newTest(t)
+	keys := []int64{9, 3, 7, 3, 1}
+	vals := []int64{90, 30, 70, 31, 10}
+	p.PutBatch(keys, vals)
+	var got []int64
+	p.ScanAll(func(k, _ int64) bool { got = append(got, k); return true })
+	want := []int64{1, 3, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("keys = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("keys = %v, want %v", got, want)
+		}
+	}
+	if v, ok := p.Get(3); !ok || v != 31 {
+		t.Fatalf("Get(3) = %d,%v: duplicate did not collapse to last", v, ok)
+	}
+	if n := p.DeleteBatch([]int64{3, 9, 100}); n != 2 {
+		t.Fatalf("DeleteBatch = %d, want 2", n)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicBulkLoad(t *testing.T) {
+	const n = 100_000
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i) * 2
+		vals[i] = int64(i)
+	}
+	p, err := BulkLoad(keys, vals, WithMode(ModeSync))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if p.Len() != n {
+		t.Fatalf("Len = %d, want %d", p.Len(), n)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := p.Get(keys[n/2]); !ok || v != vals[n/2] {
+		t.Fatalf("Get mid = %d,%v", v, ok)
+	}
+	// Ordered scan across a range boundary.
+	count := 0
+	p.Scan(100, 200, func(k, v int64) bool { count++; return true })
+	if count != 51 {
+		t.Fatalf("Scan count = %d, want 51", count)
+	}
+}
