@@ -6,7 +6,11 @@
 //	scanelts/s elements visited by concurrent scan threads per second
 //
 // Run with: go test -bench=. -benchmem
-package pmago
+//
+// This file is an external test package (pmago_test): internal/bench now
+// imports pmago for the durability drivers, so an in-package test here
+// would be an import cycle.
+package pmago_test
 
 import (
 	"testing"

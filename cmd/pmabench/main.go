@@ -7,6 +7,7 @@
 //	pmabench -experiment ablation-segment    # Section 4.1 text: B=128 vs 256
 //	pmabench -experiment ablation-leaf       # Section 4.1 text: 4KiB vs 8KiB leaves
 //	pmabench -experiment batch               # batch subsystem: PutBatch/BulkLoad vs point loops
+//	pmabench -experiment durability          # WAL fsync policies + recovery time
 //	pmabench -experiment all                 # everything, in order
 //
 // The defaults are laptop-scale; -inserts/-load/-ops/-threads restore any
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | batch | graph | all")
+		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | batch | durability | graph | all")
 		plot       = flag.String("plot", "", "figure3: a-f (empty = all); figure4: a-c (empty = all)")
 		inserts    = flag.Int("inserts", bench.DefaultScale().InsertN, "elements inserted in insert-only experiments")
 		loadN      = flag.Int("load", bench.DefaultScale().LoadN, "preloaded base size for the mixed experiments")
@@ -52,6 +53,8 @@ func main() {
 			bench.RunLeafAblation(sc), true)
 	case "batch":
 		printBatch(sc)
+	case "durability":
+		printDurability(sc)
 	case "graph":
 		printGraph(sc)
 	case "all":
@@ -62,6 +65,7 @@ func main() {
 		bench.PrintResults(os.Stdout, "Section 4.1 ablation: ART/B+-tree leaf 4KiB vs 8KiB",
 			bench.RunLeafAblation(sc), true)
 		printBatch(sc)
+		printDurability(sc)
 		printGraph(sc)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
@@ -84,6 +88,35 @@ func printBatch(sc bench.Scale) {
 	b := bench.RunBulkComparison(sc.InsertN, sc.Seed)
 	fmt.Printf("BulkLoad %d keys: point %v, bulk %v, speedup %.1fx\n\n",
 		b.N, b.PointWall.Round(time.Millisecond), b.BulkWall.Round(time.Millisecond), b.Speedup)
+}
+
+func printDurability(sc bench.Scale) {
+	fmt.Println("== Durability: WAL fsync policies and crash recovery ==")
+	n := sc.MixedN
+	for _, r := range bench.RunDurableWrites(n, sc.Threads, sc.Seed) {
+		fmt.Printf("durable Put %8d ops, %2d threads, fsync=%-8s: %7.2f M/s\n",
+			r.N, r.Threads, r.Policy, r.PerSec/1e6)
+	}
+	sizes := []int{sc.InsertN / 8, sc.InsertN}
+	if sizes[0] < 1 {
+		sizes = sizes[1:]
+	}
+	for _, r := range bench.RunRecovery(sizes, sc.Seed) {
+		fmt.Printf("recovery %9d pairs (snapshot %s + WAL tail %d): Open in %v\n",
+			r.N, byteSize(r.SnapshotBytes), r.TailN, r.OpenTime.Round(time.Millisecond))
+	}
+	fmt.Println()
+}
+
+func byteSize(n int64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
 }
 
 func printGraph(sc bench.Scale) {

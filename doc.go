@@ -28,6 +28,31 @@
 // snapshot restore, telemetry backfill — where they beat point-update loops
 // by large factors (see internal/bench).
 //
+// # Durability
+//
+// Open turns the in-memory PMA into a durable store: every update is
+// appended to a write-ahead log in the store's directory before it is
+// applied, Snapshot checkpoints a consistent scan into a delta-encoded,
+// checksummed file, and the next Open recovers by bulk-loading the newest
+// valid snapshot and replaying the WAL tail (truncating a record torn by a
+// crash mid-append). Which acknowledged writes survive a crash depends on
+// the fsync policy (WithFsync):
+//
+//   - FsyncAlways (default): every write that returned is on stable
+//     storage — a crash loses nothing acknowledged. Concurrent writers
+//     share fsyncs through group commit.
+//   - FsyncInterval: writes become durable within WithFsyncInterval
+//     (50 ms default). A process crash loses nothing (the records are in
+//     the kernel already); power loss can cost the last interval.
+//   - FsyncNone: durability is left to the OS write-back. Fastest; the
+//     same process-crash guarantee, none against power loss.
+//
+// The log preserves append order, so recovery always yields a
+// prefix-consistent store: no surviving write was acknowledged after a
+// lost one. WAL segments covered by a snapshot are deleted; by default the
+// store re-snapshots itself when the log grows past WithCompactRatio times
+// the last snapshot, keeping restart time bounded.
+//
 // # Quick start
 //
 //	p, err := pmago.New()
@@ -38,8 +63,20 @@
 //	p.PutBatch([]int64{1, 2, 3}, []int64{10, 20, 30})
 //	p.Scan(0, 100, func(k, v int64) bool { ...; return true })
 //
+// Or durably, surviving restarts:
+//
+//	db, err := pmago.Open("/var/lib/myapp/pma", pmago.WithFsync(pmago.FsyncInterval))
+//	if err != nil { ... }
+//	defer db.Close()
+//	db.Put(42, 1)         // appended to the WAL, then applied
+//	_ = db.Snapshot()     // checkpoint now; truncates the log
+//
 // The zero-configuration store uses the paper's evaluation setup: 128-slot
 // segments, 8 segments per gate, batch-combined asynchronous updates with a
 // 100 ms rebalance delay. Use options to select the synchronous or
-// one-by-one modes, or to retune the geometry.
+// one-by-one modes, or to retune the geometry. After Close, every data
+// operation — Put, Get, Delete, Scan, Flush, the batch calls, and a DB's
+// Snapshot and Sync — panics with "pmago: use after Close" (read-only
+// accessors like Len and Stats still answer from the last state); Close
+// itself is idempotent.
 package pmago

@@ -1,0 +1,295 @@
+package pmago
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"pmago/internal/core"
+	"pmago/internal/persist"
+)
+
+// DB is a durable PMA: the full PMA surface (reads and scans go straight to
+// the embedded in-memory store) with every update written ahead to a log in
+// the store's directory, checkpointable via Snapshot, and recovered by the
+// next Open. All methods are safe for concurrent use.
+//
+// Durability contract, per fsync policy (selected with WithFsync):
+//
+//   - FsyncAlways (default): when Put/Delete/PutBatch/DeleteBatch returns,
+//     the update is on stable storage; a crash at any point loses nothing
+//     acknowledged. Concurrent writers share fsyncs through group commit.
+//   - FsyncInterval: acknowledged updates reach stable storage within
+//     WithFsyncInterval (default 50 ms). A process crash (panic, kill)
+//     loses nothing — the records are already in the kernel; an OS crash
+//     or power loss may lose the last interval's acknowledgements.
+//   - FsyncNone: same process-crash guarantee as FsyncInterval; stable
+//     storage is reached whenever the OS writes back. The fastest policy.
+//
+// Under every policy recovery restores a prefix-consistent store: the log
+// preserves append order, so no surviving write was acknowledged after a
+// lost one. (Updates racing on the same key through different goroutines
+// are unordered, exactly as they are in memory.)
+// inner aliases PMA so DB can embed it as an unexported field: the whole
+// read surface (Get, Scan, Len, Stats, ...) is promoted, but the in-memory
+// store cannot be reached from outside as db.PMA — whose Put would bypass
+// the write-ordering lock and let an acknowledged write fall between a
+// snapshot and the truncated WAL.
+type inner = PMA
+
+type DB struct {
+	*inner
+	dir string
+	dur persist.Options
+	log *persist.Log
+
+	// mu orders writes against a snapshot's cut: every update holds it
+	// shared across its append+apply, and Snapshot holds it exclusively
+	// while draining the combining queues and rotating the log — after
+	// which everything logged before the cut is fully visible to the
+	// snapshot scan, and everything after it is replayed from the tail.
+	mu sync.RWMutex
+
+	snapMu     sync.Mutex // one snapshot at a time
+	snapBytes  atomic.Int64
+	opTick     atomic.Uint64
+	compacting atomic.Bool
+	closed     atomic.Bool
+	bg         sync.WaitGroup
+	unlock     func() // releases the directory flock
+}
+
+// Open opens (creating it if necessary) a durable PMA rooted at dir.
+// Recovery runs first: the newest checksum-valid snapshot is bulk-loaded
+// in one pass and the write-ahead-log tail is replayed on top, truncating
+// a torn final record if a crash cut an append short. In-memory options
+// (mode, geometry, ...) apply as in New; WithFsync and friends tune the
+// durability layer. A directory is owned by at most one open DB at a time,
+// enforced with an advisory flock (on unix): a second Open fails instead of
+// corrupting the live owner's files.
+func Open(dir string, opts ...Option) (*DB, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	unlock, err := persist.LockDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var c *core.PMA
+	rec, err := persist.Recover(dir,
+		func(keys, vals []int64) error {
+			var err error
+			c, err = core.BulkLoad(cfg.core, keys, vals)
+			return err
+		},
+		func(r *persist.Record) error {
+			applyRecord(c, r)
+			return nil
+		})
+	if err != nil {
+		if c != nil {
+			c.Close()
+		}
+		unlock()
+		return nil, err
+	}
+	// Replayed updates may sit in combining queues or deferred batches
+	// (TDelay); drain them so the store Open returns is fully caught up.
+	c.Flush()
+	log, err := persist.OpenLog(dir, rec.NextSeq, cfg.dur)
+	if err != nil {
+		c.Close()
+		unlock()
+		return nil, err
+	}
+	db := &DB{inner: &PMA{c: c}, dir: dir, dur: cfg.dur, log: log, unlock: unlock}
+	db.snapBytes.Store(rec.SnapshotBytes)
+	// Install the write-ahead hook only now: replay above must not re-log
+	// the records it applies.
+	c.SetHook(walHook{db})
+	return db, nil
+}
+
+// applyRecord replays one WAL record through the ordinary update paths;
+// batch records re-sort and re-dedup exactly as the original call did.
+func applyRecord(c *core.PMA, r *persist.Record) {
+	switch r.Kind {
+	case persist.KindPut:
+		c.Put(r.Keys[0], r.Vals[0])
+	case persist.KindDelete:
+		c.Delete(r.Keys[0])
+	case persist.KindPutBatch:
+		c.PutBatch(r.Keys, r.Vals)
+	case persist.KindDeleteBatch:
+		c.DeleteBatch(r.Keys)
+	}
+}
+
+// walHook implements core.UpdateHook: it runs at the top of every update,
+// appending the record (and, under FsyncAlways, waiting for the group
+// commit) before the in-memory apply begins.
+type walHook struct{ db *DB }
+
+func (h walHook) Put(k, v int64) {
+	h.db.logErr(h.db.log.AppendPut(k, v))
+}
+
+func (h walHook) Delete(k int64) {
+	h.db.logErr(h.db.log.AppendDelete(k))
+}
+
+func (h walHook) PutBatch(keys, vals []int64) {
+	h.db.logErr(h.db.log.AppendPutBatch(keys, vals))
+}
+
+func (h walHook) DeleteBatch(keys []int64) {
+	h.db.logErr(h.db.log.AppendDeleteBatch(keys))
+}
+
+// logErr turns a WAL append failure into a panic: the store cannot keep its
+// durability promise once the log stops accepting records, and the update
+// signatures (inherited from PMA) have no error channel. Disk-full and
+// similar conditions surface here.
+func (db *DB) logErr(err error) {
+	if err != nil {
+		panic(fmt.Sprintf("pmago: write-ahead log append failed: %v", err))
+	}
+	db.maybeCompact()
+}
+
+// Put inserts or replaces k/v durably (see DB for per-policy guarantees).
+func (db *DB) Put(k, v int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.inner.Put(k, v)
+}
+
+// Delete removes k durably.
+func (db *DB) Delete(k int64) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.inner.Delete(k)
+}
+
+// PutBatch upserts the batch durably, logging it as a single record.
+func (db *DB) PutBatch(keys, vals []int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.inner.PutBatch(keys, vals)
+}
+
+// DeleteBatch removes the keys durably, logging them as a single record.
+func (db *DB) DeleteBatch(keys []int64) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.inner.DeleteBatch(keys)
+}
+
+// Sync forces every acknowledged write to stable storage now, whatever the
+// fsync policy — a durability barrier for FsyncInterval/FsyncNone stores.
+func (db *DB) Sync() error {
+	db.checkOpen()
+	return db.log.Sync()
+}
+
+// Snapshot checkpoints the store: a consistent full scan is streamed into a
+// delta-encoded, checksummed snapshot file, after which the WAL segments it
+// covers (and older snapshots) are deleted. Concurrent reads and writes
+// proceed during the scan — only the cut itself briefly quiesces writers.
+// On return, recovery cost is reset to the snapshot plus the live WAL tail.
+func (db *DB) Snapshot() error {
+	db.checkOpen()
+	return db.snapshot()
+}
+
+func (db *DB) snapshot() error {
+	db.snapMu.Lock()
+	defer db.snapMu.Unlock()
+
+	// The cut: block writers, drain every combining queue so all updates
+	// logged so far are applied (and thus visible to the scan below),
+	// then start a fresh WAL segment. Everything before segment `cut` is
+	// covered by the snapshot; everything from it on will be replayed.
+	db.mu.Lock()
+	db.inner.Flush()
+	cut, err := db.log.Rotate()
+	db.mu.Unlock()
+	if err != nil {
+		return err
+	}
+
+	_, size, err := persist.WriteSnapshot(db.dir, cut, func(yield func(k, v int64) bool) {
+		db.inner.ScanAll(yield)
+	}, db.dur)
+	if err != nil {
+		return err
+	}
+	db.snapBytes.Store(size)
+	// The snapshot is durable: its WAL prefix and older snapshots are
+	// garbage now.
+	db.log.TruncateBefore(cut)
+	persist.RemoveSnapshotsBefore(db.dir, cut)
+	return nil
+}
+
+// maybeCompact triggers a background snapshot when the live WAL has grown
+// past CompactRatio × the last snapshot (or past CompactMinBytes while no
+// snapshot exists). Checked every 64th append to keep it off the hot path.
+func (db *DB) maybeCompact() {
+	if db.dur.CompactRatio <= 0 || db.opTick.Add(1)&63 != 0 {
+		return
+	}
+	threshold := db.dur.CompactMinBytes
+	if sb := db.snapBytes.Load(); sb > 0 {
+		if t := int64(db.dur.CompactRatio * float64(sb)); t > threshold {
+			threshold = t
+		}
+	}
+	if db.log.LiveBytes() <= threshold {
+		return
+	}
+	if db.compacting.Swap(true) {
+		return
+	}
+	db.bg.Add(1)
+	go func() {
+		defer db.bg.Done()
+		defer db.compacting.Store(false)
+		if db.closed.Load() {
+			return
+		}
+		_ = db.snapshot() // failure keeps the WAL; the next trigger retries
+	}()
+}
+
+// WALBytes reports the live write-ahead-log size — the replay cost a crash
+// would incur right now (diagnostics and tests).
+func (db *DB) WALBytes() int64 { return db.log.LiveBytes() }
+
+// Dir returns the store's directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Close flushes pending in-memory work, forces the log to stable storage
+// and releases all resources. Close is idempotent; any other method panics
+// afterwards. As with PMA.Close, concurrent operations must have completed.
+func (db *DB) Close() error {
+	if db.closed.Swap(true) {
+		return nil
+	}
+	db.bg.Wait()
+	db.inner.Close() // applies pending combined updates (already logged)
+	err := db.log.Close()
+	db.unlock()
+	return err
+}
+
+func (db *DB) checkOpen() {
+	if db.closed.Load() {
+		panic("pmago: use after Close")
+	}
+}

@@ -1,0 +1,469 @@
+package pmago
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func scanToMap(t *testing.T, p interface {
+	ScanAll(func(k, v int64) bool)
+}) map[int64]int64 {
+	t.Helper()
+	m := map[int64]int64{}
+	p.ScanAll(func(k, v int64) bool {
+		m[k] = v
+		return true
+	})
+	return m
+}
+
+func TestOpenFreshPutReopen(t *testing.T) {
+	for _, policy := range []FsyncPolicy{FsyncAlways, FsyncInterval, FsyncNone} {
+		t.Run(policy.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			db, err := Open(dir, WithFsync(policy), WithFsyncInterval(time.Millisecond))
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := map[int64]int64{}
+			for i := int64(0); i < 2000; i++ {
+				db.Put(i*7, i)
+				model[i*7] = i
+			}
+			db.PutBatch([]int64{1, 3, 5}, []int64{10, 30, 50})
+			model[1], model[3], model[5] = 10, 30, 50
+			if n := db.DeleteBatch([]int64{7, 21}); n != 2 {
+				t.Fatalf("DeleteBatch removed %d, want 2", n)
+			}
+			delete(model, 7)
+			delete(model, 21)
+			db.Delete(14)
+			delete(model, 14)
+			if err := db.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			re, err := Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer re.Close()
+			re.Flush()
+			if got := scanToMap(t, re); !reflect.DeepEqual(got, model) {
+				t.Fatalf("reopen lost data: %d keys, want %d", len(got), len(model))
+			}
+			if err := re.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestSnapshotTruncatesWALAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, WithFsync(FsyncNone), WithCompactRatio(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64]int64{}
+	for i := int64(0); i < 5000; i++ {
+		db.Put(i, i*2)
+		model[i] = i * 2
+	}
+	pre := db.WALBytes()
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if post := db.WALBytes(); post >= pre/2 {
+		t.Fatalf("snapshot did not truncate the WAL: %d -> %d bytes", pre, post)
+	}
+	// Tail writes after the checkpoint land in the WAL only.
+	for i := int64(0); i < 500; i++ {
+		db.Put(-i-1, i)
+		model[-i-1] = i
+	}
+	db.DeleteBatch([]int64{0, 2, 4})
+	delete(model, 0)
+	delete(model, 2)
+	delete(model, 4)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	re.Flush()
+	if got := scanToMap(t, re); !reflect.DeepEqual(got, model) {
+		t.Fatalf("snapshot+tail recovery mismatch: %d keys, want %d", len(got), len(model))
+	}
+}
+
+// crashOp is one acknowledged update plus the durable WAL size right after
+// it returned — the boundary the truncation property test cuts against.
+type crashOp struct {
+	apply  func(m map[int64]int64)
+	endOff int64
+}
+
+// TestCrashRecoveryProperty is the crash property test: a workload of
+// acknowledged FsyncAlways updates is recorded together with each op's WAL
+// end offset; the log is then truncated at random byte offsets (a crash mid
+// group of appends), reopened, and the recovered store must equal the model
+// of exactly the ops whose records fit below the cut — every acknowledged-
+// durable op survives, nothing partial leaks in.
+func TestCrashRecoveryProperty(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, WithFsync(FsyncAlways), WithCompactRatio(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	var ops []crashOp
+	for i := 0; i < 400; i++ {
+		var apply func(m map[int64]int64)
+		switch rng.Intn(4) {
+		case 0:
+			k, v := rng.Int63n(200), rng.Int63()
+			db.Put(k, v)
+			apply = func(m map[int64]int64) { m[k] = v }
+		case 1:
+			k := rng.Int63n(200)
+			db.Delete(k)
+			apply = func(m map[int64]int64) { delete(m, k) }
+		case 2:
+			n := 1 + rng.Intn(8)
+			keys := make([]int64, n)
+			vals := make([]int64, n)
+			for j := range keys {
+				keys[j] = rng.Int63n(200)
+				vals[j] = rng.Int63()
+			}
+			db.PutBatch(keys, vals)
+			apply = func(m map[int64]int64) {
+				for j := range keys {
+					m[keys[j]] = vals[j]
+				}
+			}
+		default:
+			n := 1 + rng.Intn(8)
+			keys := make([]int64, n)
+			for j := range keys {
+				keys[j] = rng.Int63n(200)
+			}
+			db.DeleteBatch(keys)
+			apply = func(m map[int64]int64) {
+				for _, k := range keys {
+					delete(m, k)
+				}
+			}
+		}
+		ops = append(ops, crashOp{apply: apply, endOff: db.WALBytes()})
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walName := fmt.Sprintf("wal-%020d.log", 1)
+	wal, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(wal)) != ops[len(ops)-1].endOff {
+		t.Fatalf("wal is %d bytes, last op ended at %d", len(wal), ops[len(ops)-1].endOff)
+	}
+
+	cuts := []int64{0, 1, 7, int64(len(wal)) - 1, int64(len(wal))}
+	for i := 0; i < 40; i++ {
+		cuts = append(cuts, rng.Int63n(int64(len(wal))+1))
+	}
+	for _, cut := range cuts {
+		// The acknowledged-durable prefix: every op whose record fully
+		// precedes the cut. A record straddling the cut is torn and, with
+		// it, everything after — recovery may not apply any of it.
+		want := map[int64]int64{}
+		for _, op := range ops {
+			if op.endOff > cut {
+				break
+			}
+			op.apply(want)
+		}
+		trial := t.TempDir()
+		if err := os.WriteFile(filepath.Join(trial, walName), wal[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := Open(trial)
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		re.Flush()
+		got := scanToMap(t, re)
+		if verr := re.Validate(); verr != nil {
+			t.Fatalf("cut %d: %v", cut, verr)
+		}
+		re.Close()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut %d of %d: recovered %d keys, want %d", cut, len(wal), len(got), len(want))
+		}
+	}
+}
+
+// TestCorruptRecordRejectedOnOpen flips a byte inside the WAL. Mid-file,
+// with checksum-valid records after the damage, that is bit rot eating
+// acknowledged writes — Open must refuse rather than silently drop the
+// suffix. At the very tail it is indistinguishable from a crash mid-append
+// and recovery keeps the intact prefix, leaking no garbage.
+func TestCorruptRecordRejectedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, WithFsync(FsyncNone), WithCompactRatio(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 500
+	for i := int64(0); i < n; i++ {
+		db.Put(i, i*10)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, fmt.Sprintf("wal-%020d.log", 1))
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	midCorrupt := append([]byte(nil), data...)
+	midCorrupt[len(midCorrupt)/3] ^= 0xA5
+	if err := os.WriteFile(walPath, midCorrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Open accepted a WAL with mid-file corruption followed by valid records")
+	}
+
+	// Damage in the final record: torn-tail semantics, prefix recovered.
+	tailCorrupt := append([]byte(nil), data...)
+	tailCorrupt[len(tailCorrupt)-2] ^= 0xA5
+	if err := os.WriteFile(walPath, tailCorrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	got := scanToMap(t, re)
+	if len(got) != n-1 {
+		t.Fatalf("torn final record: recovered %d/%d, want %d", len(got), n, n-1)
+	}
+	for k, v := range got {
+		if v != k*10 {
+			t.Fatalf("garbage survived CRC check: %d -> %d", k, v)
+		}
+	}
+}
+
+// TestKillAndReopen simulates a kill -9: the directory is copied while the
+// store is still open (nothing flushed by Close) and reopened elsewhere.
+// Under FsyncAlways every acknowledged write must be in the copy.
+func TestKillAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, WithFsync(FsyncAlways), WithCompactRatio(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64]int64{}
+	for i := int64(0); i < 1000; i++ {
+		db.Put(i*3, i)
+		model[i*3] = i
+	}
+	// Copy the directory with the store still open — the "crash image".
+	image := t.TempDir()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(image, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.Close()
+
+	re, err := Open(image)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	re.Flush()
+	if got := scanToMap(t, re); !reflect.DeepEqual(got, model) {
+		t.Fatalf("kill-and-reopen lost acknowledged writes: %d keys, want %d", len(got), len(model))
+	}
+}
+
+func TestSecondOpenSameDirRefused(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put(1, 1)
+	if _, err := Open(dir); err == nil {
+		t.Fatal("second Open on a live directory must fail, not corrupt the owner")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The flock dies with its holder: reopening after Close works.
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := re.Get(1); !ok || v != 1 {
+		t.Fatal("reopen after lock release lost data")
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAutoCompaction(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir,
+		WithFsync(FsyncNone),
+		WithCompactRatio(4),
+		WithCompactMinBytes(4<<10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := map[int64]int64{}
+	deadline := time.Now().Add(10 * time.Second)
+	var i int64
+	for db.WALBytes() < 32<<10 { // well past the trigger threshold
+		db.Put(i, i)
+		model[i] = i
+		i++
+	}
+	for time.Now().Before(deadline) {
+		if snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.pma")); len(snaps) > 0 && db.WALBytes() < 8<<10 {
+			break
+		}
+		db.Put(i, i)
+		model[i] = i
+		i++
+		time.Sleep(time.Millisecond)
+	}
+	snaps, _ := filepath.Glob(filepath.Join(dir, "snap-*.pma"))
+	if len(snaps) == 0 {
+		t.Fatal("auto-compaction never produced a snapshot")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	re.Flush()
+	if got := scanToMap(t, re); !reflect.DeepEqual(got, model) {
+		t.Fatalf("post-compaction recovery mismatch: %d keys, want %d", len(got), len(model))
+	}
+}
+
+func TestConcurrentDurableWritersRecover(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir, WithFsync(FsyncInterval), WithFsyncInterval(time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, per = 8, 500
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < per; i++ {
+				db.Put(int64(w*per+i), int64(w))
+			}
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	// A snapshot races nothing here, but exercises the cut under load.
+	if err := db.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer re.Close()
+	re.Flush()
+	if re.Len() != workers*per {
+		t.Fatalf("recovered %d keys, want %d", re.Len(), workers*per)
+	}
+}
+
+func mustPanic(t *testing.T, want string, fn func()) {
+	t.Helper()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic, got none")
+		}
+		if msg, ok := r.(string); !ok || msg != want {
+			t.Fatalf("panic %v, want %q", r, want)
+		}
+	}()
+	fn()
+}
+
+func TestUseAfterClosePanics(t *testing.T) {
+	p, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Put(1, 1)
+	p.Close()
+	p.Close() // double Close stays a no-op
+	const msg = "pmago: use after Close"
+	mustPanic(t, msg, func() { p.Put(2, 2) })
+	mustPanic(t, msg, func() { p.Get(1) })
+	mustPanic(t, msg, func() { p.Delete(1) })
+	mustPanic(t, msg, func() { p.Scan(0, 10, func(int64, int64) bool { return true }) })
+	mustPanic(t, msg, func() { p.Flush() })
+	mustPanic(t, msg, func() { p.PutBatch([]int64{1}, []int64{1}) })
+	mustPanic(t, msg, func() { p.DeleteBatch([]int64{1}) })
+}
+
+func TestDurableUseAfterClosePanics(t *testing.T) {
+	db, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put(1, 1)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	const msg = "pmago: use after Close"
+	mustPanic(t, msg, func() { db.Put(2, 2) })
+	mustPanic(t, msg, func() { db.Get(1) })
+	mustPanic(t, msg, func() { _ = db.Snapshot() })
+	mustPanic(t, msg, func() { _ = db.Sync() })
+}

@@ -1,7 +1,6 @@
 package pmago
 
 import (
-	"pmago/internal/core"
 	"pmago/internal/graph"
 )
 
@@ -20,11 +19,11 @@ const MaxVertex = graph.MaxVertex
 // NewGraph creates an empty graph whose underlying PMAs use the paper's
 // defaults modified by the given options.
 func NewGraph(opts ...Option) (*Graph, error) {
-	cfg := core.DefaultConfig()
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
-	g, err := graph.New(cfg)
+	g, err := graph.New(cfg.core)
 	if err != nil {
 		return nil, err
 	}

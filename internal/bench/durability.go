@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"pmago"
+)
+
+// Durability experiment: what does the write-ahead log cost per fsync
+// policy, and what does recovery cost per dataset size? Each measurement
+// runs against a real durable store (pmago.Open) in a throwaway directory.
+
+// DurableWriteResult is one durable-ingest measurement.
+type DurableWriteResult struct {
+	Policy  string // "memory" is the non-durable pmago.New baseline
+	Threads int
+	N       int
+	PerSec  float64
+}
+
+// RunDurableWrites measures concurrent point-Put throughput for the
+// in-memory baseline and each fsync policy, n total ops over `threads`
+// writers per run. Keys are scattered uniformly, the paper's insert-heavy
+// shape; under FsyncAlways throughput is fsync-bound and scales with the
+// number of writers sharing each group commit.
+func RunDurableWrites(n, threads int, seed int64) []DurableWriteResult {
+	if threads < 1 {
+		threads = 1
+	}
+	type target struct {
+		name string
+		open func(dir string) (durableStore, error)
+	}
+	targets := []target{
+		{"memory", func(string) (durableStore, error) { return pmago.New() }},
+		{"always", openWith(pmago.FsyncAlways)},
+		{"interval", openWith(pmago.FsyncInterval)},
+		{"none", openWith(pmago.FsyncNone)},
+	}
+	var results []DurableWriteResult
+	for _, tg := range targets {
+		dir, err := os.MkdirTemp("", "pmago-dur-*")
+		if err != nil {
+			panic(err)
+		}
+		s, err := tg.open(dir)
+		if err != nil {
+			panic(err)
+		}
+		keys, vals := freshKeys(n, seed)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			lo, hi := n*w/threads, n*(w+1)/threads
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					s.Put(keys[i], vals[i])
+				}
+			}()
+		}
+		wg.Wait()
+		s.Flush()
+		elapsed := time.Since(start)
+		s.Close()
+		os.RemoveAll(dir)
+		results = append(results, DurableWriteResult{
+			Policy:  tg.name,
+			Threads: threads,
+			N:       n,
+			PerSec:  float64(n) / elapsed.Seconds(),
+		})
+	}
+	return results
+}
+
+// durableStore is the slice of the store surface the writes experiment
+// needs. *pmago.PMA satisfies it directly; dbStore adapts *pmago.DB, whose
+// Close returns an error.
+type durableStore interface {
+	Put(k, v int64)
+	Flush()
+	Close()
+}
+
+type dbStore struct{ *pmago.DB }
+
+func (d dbStore) Close() { _ = d.DB.Close() }
+
+func openWith(policy pmago.FsyncPolicy) func(dir string) (durableStore, error) {
+	return func(dir string) (durableStore, error) {
+		db, err := pmago.Open(dir, pmago.WithFsync(policy), pmago.WithCompactRatio(0))
+		if err != nil {
+			return nil, err
+		}
+		return dbStore{db}, nil
+	}
+}
+
+// RecoveryResult is one crash-recovery measurement: a store of N pairs —
+// nine tenths checkpointed, one tenth in the WAL tail — reopened cold.
+type RecoveryResult struct {
+	N             int
+	TailN         int // pairs replayed from the WAL
+	SnapshotBytes int64
+	WALBytes      int64
+	OpenTime      time.Duration
+}
+
+// RunRecovery builds a durable store of each size (bulk ingest, snapshot
+// at 90%, point-logged tail for the rest), closes it, and times Open —
+// the restart cost a deployment actually pays.
+func RunRecovery(sizes []int, seed int64) []RecoveryResult {
+	var results []RecoveryResult
+	for _, n := range sizes {
+		dir, err := os.MkdirTemp("", "pmago-rec-*")
+		if err != nil {
+			panic(err)
+		}
+		db, err := pmago.Open(dir, pmago.WithFsync(pmago.FsyncNone), pmago.WithCompactRatio(0))
+		if err != nil {
+			panic(err)
+		}
+		keys, vals := freshKeys(n, seed)
+		sortChunks(keys, vals, n)
+		snapN := n * 9 / 10
+		const chunk = 1 << 16
+		for off := 0; off < snapN; off += chunk {
+			end := min(off+chunk, snapN)
+			db.PutBatch(keys[off:end], vals[off:end])
+		}
+		if err := db.Snapshot(); err != nil {
+			panic(err)
+		}
+		for i := snapN; i < n; i++ { // point-logged WAL tail
+			db.Put(keys[i], vals[i])
+		}
+		res := RecoveryResult{N: n, TailN: n - snapN, WALBytes: db.WALBytes()}
+		if fi := snapshotFile(dir); fi != nil {
+			res.SnapshotBytes = fi.Size()
+		}
+		if err := db.Close(); err != nil {
+			panic(err)
+		}
+
+		start := time.Now()
+		re, err := pmago.Open(dir)
+		if err != nil {
+			panic(err)
+		}
+		res.OpenTime = time.Since(start)
+		if re.Len() != n {
+			panic(fmt.Sprintf("bench: recovery lost data: %d of %d", re.Len(), n))
+		}
+		_ = re.Close()
+		os.RemoveAll(dir)
+		results = append(results, res)
+	}
+	return results
+}
+
+func snapshotFile(dir string) os.FileInfo {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	for _, e := range ents {
+		if len(e.Name()) > 9 && e.Name()[:5] == "snap-" {
+			if fi, err := e.Info(); err == nil {
+				return fi
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,32 @@
+package bench
+
+import "testing"
+
+func TestRunDurableWritesSmall(t *testing.T) {
+	rs := RunDurableWrites(4_000, 4, 1)
+	if len(rs) != 4 {
+		t.Fatalf("got %d results, want 4 (memory + 3 policies)", len(rs))
+	}
+	for _, r := range rs {
+		if r.PerSec <= 0 {
+			t.Fatalf("%s: zero durable-write throughput", r.Policy)
+		}
+	}
+	if rs[0].Policy != "memory" {
+		t.Fatalf("first result %q, want the in-memory baseline", rs[0].Policy)
+	}
+}
+
+func TestRunRecoverySmall(t *testing.T) {
+	rs := RunRecovery([]int{20_000}, 1)
+	if len(rs) != 1 {
+		t.Fatalf("got %d results", len(rs))
+	}
+	r := rs[0]
+	if r.OpenTime <= 0 || r.SnapshotBytes <= 0 || r.WALBytes <= 0 {
+		t.Fatalf("implausible recovery measurement: %+v", r)
+	}
+	if r.TailN != 2_000 {
+		t.Fatalf("tail %d, want 2000", r.TailN)
+	}
+}

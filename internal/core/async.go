@@ -279,6 +279,7 @@ func (p *PMA) updateSyncInternal(o op, guard *epoch.Guard) bool {
 // observe all previously accepted updates. In ModeSync it is a no-op beyond
 // a service round-trip.
 func (p *PMA) Flush() {
+	p.checkOpen()
 	guard := p.epochs.Enter()
 	defer guard.Leave()
 	for {

@@ -33,6 +33,7 @@ import (
 // drained through a rebalancer barrier first — but updates to the same keys
 // from concurrent calls remain unordered with respect to the batch.
 func (p *PMA) PutBatch(keys, vals []int64) {
+	p.checkOpen()
 	if len(keys) != len(vals) {
 		panic(fmt.Sprintf("core: PutBatch got %d keys but %d values", len(keys), len(vals)))
 	}
@@ -43,6 +44,9 @@ func (p *PMA) PutBatch(keys, vals []int64) {
 		}
 		ops[i] = op{key: k, val: vals[i]}
 	}
+	if h := p.hook; h != nil {
+		h.PutBatch(keys, vals)
+	}
 	ops = sortDedupOps(ops)
 	p.applyBatchParallel(ops)
 }
@@ -51,9 +55,13 @@ func (p *PMA) PutBatch(keys, vals []int64) {
 // removed from the array. Sentinel keys and duplicates are ignored. Unlike
 // point Deletes in the asynchronous modes, the count is exact — deletions
 // only lower density, so every run is applied in place under its gate latch
-// — though concurrently combined updates absorbed from a gate's queue can
-// contribute to it.
+// — and it stays exact under concurrent writers: deletions belonging to
+// absorbed queue ops are applied but never attributed to the batch.
 func (p *PMA) DeleteBatch(keys []int64) int {
+	p.checkOpen()
+	if h := p.hook; h != nil {
+		h.DeleteBatch(keys)
+	}
 	ops := make([]op, 0, len(keys))
 	for _, k := range keys {
 		if k == rma.KeyMin || k == rma.KeyMax {
@@ -238,6 +246,8 @@ func (p *PMA) applyBatch(ops, all []op, guard *epoch.Guard) (int64, bool) {
 // the fences are returned for the caller to replay, and handedOff reports
 // whether the rebalancer was involved (the batch caller then barriers).
 func (p *PMA) applyGateBatch(st *state, g *gate, run []op) (removed int64, leftovers []op, handedOff bool) {
+	orig := run // the batch's own ops: only their deletions count
+	absorbed := false
 	g.mu.Lock()
 	if g.q != nil {
 		// A parked batch (pendingBatch) — we hold the latch, so no
@@ -247,6 +257,7 @@ func (p *PMA) applyGateBatch(st *state, g *gate, run []op) (removed int64, lefto
 		g.q = nil
 		g.pendingBatch = false
 		g.mu.Unlock()
+		absorbed = len(parked) > 0
 		merged := make([]op, 0, len(parked)+len(run))
 		merged = append(merged, parked...)
 		merged = append(merged, run...)
@@ -263,17 +274,28 @@ func (p *PMA) applyGateBatch(st *state, g *gate, run []op) (removed int64, lefto
 	ins := run
 	if hasDeletes(run) {
 		ins = make([]op, 0, len(run))
+		cardRemoved := int64(0)
 		for _, o := range run {
 			if !o.del {
 				ins = append(ins, o)
 				continue
 			}
 			if g.del(o.key) {
-				removed++
+				cardRemoved++
+				// Deletes that rode in from the absorbed queue belong to
+				// concurrent point callers, not to this batch: keep them
+				// out of the returned count (DeleteBatch's exact-count
+				// contract). An op that survived the last-wins dedup with
+				// its key present in orig is the batch's own.
+				if !absorbed {
+					removed++
+				} else if i := searchOps(orig, o.key); i < len(orig) && orig[i].key == o.key {
+					removed++
+				}
 			}
 		}
-		if removed > 0 {
-			st.card.Add(-removed)
+		if cardRemoved > 0 {
+			st.card.Add(-cardRemoved)
 		}
 	}
 	if len(ins) == 0 {

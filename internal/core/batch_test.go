@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"sort"
+	"sync"
 	"testing"
 
 	"pmago/internal/rma"
@@ -186,6 +187,98 @@ func TestDeleteBatchExactCount(t *testing.T) {
 			t.Fatalf("%v: DeleteBatch = %d, want %d", mode, got, want)
 		}
 		checkAgainstModel(t, p, model, mode.String()+"/delete")
+	}
+}
+
+// TestDeleteBatchExactCountConcurrentWriters pins the exact-count contract
+// under concurrency: while DeleteBatch removes a set of present keys, point
+// and batch writers hammer disjoint keys hard enough to force rebalances,
+// fence moves and resizes under the batch. None of that may perturb the
+// returned count, because every deletion applies in place under its gate
+// latch.
+func TestDeleteBatchExactCountConcurrentWriters(t *testing.T) {
+	for _, mode := range allModes() {
+		for round := 0; round < 3; round++ {
+			p := newTest(t, mode)
+			// Present targets: keys = 0 mod 4. Concurrent writers use
+			// keys = 1,2,3 mod 4 — disjoint, so the expected count is
+			// exact even while the array churns.
+			const targets = 4000
+			tk := make([]int64, targets)
+			for i := range tk {
+				tk[i] = int64(i) * 4
+			}
+			p.PutBatch(tk, tk)
+			p.Flush()
+
+			stop := make(chan struct{})
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(w)))
+					var batchK, batchV []int64
+					for i := 0; ; i++ {
+						select {
+						case <-stop:
+							return
+						default:
+						}
+						k := rng.Int63n(4*targets)&^3 + 1 + int64(w%3)
+						switch i % 3 {
+						case 0:
+							p.Put(k, k)
+						case 1:
+							p.Delete(k)
+						default:
+							batchK = append(batchK[:0], k, k+4, k+8)
+							batchV = append(batchV[:0], k, k, k)
+							p.PutBatch(batchK, batchV)
+						}
+					}
+				}(w)
+			}
+			// Two concurrent DeleteBatches over disjoint halves of the
+			// targets: each count must be exact, and so must the sum.
+			type res struct{ got, want int }
+			results := make(chan res, 2)
+			for half := 0; half < 2; half++ {
+				go func(half int) {
+					part := tk[half*targets/2 : (half+1)*targets/2]
+					// Shuffled + duplicated input exercises sortDedupOps.
+					dels := make([]int64, 0, len(part)*2)
+					rng := rand.New(rand.NewSource(int64(half)))
+					for _, k := range part {
+						dels = append(dels, k, k) // dup collapses
+					}
+					rng.Shuffle(len(dels), func(i, j int) { dels[i], dels[j] = dels[j], dels[i] })
+					results <- res{got: p.DeleteBatch(dels), want: len(part)}
+				}(half)
+			}
+			var rs []res
+			for i := 0; i < 2; i++ {
+				rs = append(rs, <-results)
+			}
+			close(stop)
+			wg.Wait()
+			for _, r := range rs {
+				if r.got != r.want {
+					t.Fatalf("%v/round%d: DeleteBatch = %d, want %d", mode, round, r.got, r.want)
+				}
+			}
+			p.Flush()
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%v/round%d: %v", mode, round, err)
+			}
+			// Every target key must be gone despite the concurrent churn.
+			for _, k := range tk {
+				if _, ok := p.Get(k); ok {
+					t.Fatalf("%v/round%d: deleted key %d still present", mode, round, k)
+				}
+			}
+			p.Close()
+		}
 	}
 }
 

@@ -126,6 +126,26 @@ func (c Config) Validate() error {
 	return nil
 }
 
+// UpdateHook observes every accepted update before it is applied to the
+// array. It is the seam the durability layer hangs off: a write-ahead log
+// implements UpdateHook and pmago.Open installs it with SetHook, so a hook
+// that blocks until its record is durable makes every acknowledged update
+// recoverable. The hook is invoked with the caller's original arguments
+// (unsorted, duplicates intact, after sentinel validation) and must be safe
+// for concurrent use; when no hook is installed the only hot-path cost is a
+// nil check.
+type UpdateHook interface {
+	Put(k, v int64)
+	Delete(k int64)
+	PutBatch(keys, vals []int64)
+	DeleteBatch(keys []int64)
+}
+
+// SetHook installs the update hook. It must be called before the PMA is
+// shared with other goroutines (pmago.Open installs it between recovery and
+// returning the store); there is no synchronisation on the field itself.
+func (p *PMA) SetHook(h UpdateHook) { p.hook = h }
+
 // Stats exposes structural-event counters for experiments and tests.
 type Stats struct {
 	LocalRebalances  int64
@@ -169,6 +189,7 @@ func (st *state) thresholds(k, h int) (rho, tau float64) {
 type PMA struct {
 	cfg      Config
 	adaptive bool
+	hook     UpdateHook
 
 	state atomic.Pointer[state]
 
@@ -277,13 +298,24 @@ func (p *PMA) newState(numGates int) *state {
 
 // Close shuts down the service goroutines. Pending delayed batches are
 // applied first so no accepted update is lost. Concurrent operations must
-// have completed before Close is called.
+// have completed before Close is called. Close is idempotent; any other
+// operation on a closed PMA panics with a "use after Close" message.
 func (p *PMA) Close() {
 	if p.closed.Swap(true) {
 		return
 	}
 	p.reb.close()
 	p.gc.Stop()
+}
+
+// checkOpen guards every client operation against use after Close: without
+// it a closed store fails obscurely (a Put can hang forever on the stopped
+// rebalancer). The message carries the public package name — it is what the
+// user sees.
+func (p *PMA) checkOpen() {
+	if p.closed.Load() {
+		panic("pmago: use after Close")
+	}
 }
 
 // Len returns the number of elements applied to the array. Updates still

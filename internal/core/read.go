@@ -5,6 +5,7 @@ import "pmago/internal/rma"
 // Get returns the value stored under k. Reads never block behind combining
 // queues: updates still queued are not yet visible (Section 3.5 semantics).
 func (p *PMA) Get(k int64) (int64, bool) {
+	p.checkOpen()
 	if k == rma.KeyMin || k == rma.KeyMax {
 		return 0, false
 	}
@@ -46,6 +47,7 @@ func (p *PMA) Get(k int64) (int64, bool) {
 // chunks at increasing fence boundaries, which is the same guarantee the
 // paper's scans provide.
 func (p *PMA) Scan(lo, hi int64, fn func(k, v int64) bool) {
+	p.checkOpen()
 	if lo > hi {
 		return
 	}

@@ -75,8 +75,12 @@ func (g *gate) releaseWriter() {
 // deferred: it is guaranteed to be applied before a Flush returns, but an
 // immediately following Get may not observe it.
 func (p *PMA) Put(k, v int64) {
+	p.checkOpen()
 	if k == rma.KeyMin || k == rma.KeyMax {
 		panic("core: cannot store sentinel key")
+	}
+	if h := p.hook; h != nil {
+		h.Put(k, v)
 	}
 	guard := p.epochs.Enter()
 	defer guard.Leave()
@@ -87,8 +91,12 @@ func (p *PMA) Put(k, v int64) {
 // synchronously; a deferred (combined) delete returns true optimistically,
 // matching the fire-and-forget semantics of Section 3.5.
 func (p *PMA) Delete(k int64) bool {
+	p.checkOpen()
 	if k == rma.KeyMin || k == rma.KeyMax {
 		return false
+	}
+	if h := p.hook; h != nil {
+		h.Delete(k)
 	}
 	guard := p.epochs.Enter()
 	defer guard.Leave()

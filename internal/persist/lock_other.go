@@ -1,0 +1,9 @@
+//go:build !unix
+
+package persist
+
+// LockDir is a no-op where flock is unavailable; the single-owner
+// constraint on a store directory is then the caller's responsibility.
+func LockDir(dir string) (func(), error) {
+	return func() {}, nil
+}

@@ -1,0 +1,32 @@
+//go:build unix
+
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// LockDir takes an exclusive advisory flock on dir/LOCK, guarding the store
+// against a second concurrent owner — whose recovery would truncate the live
+// owner's active segment and whose snapshots would delete WAL segments the
+// other still needs. Returns the release function. flock conflicts between
+// any two open file descriptions, so a duplicate Open fails even within one
+// process, and the lock vanishes automatically when a crashed owner's fds
+// are reaped — no stale-lockfile problem.
+func LockDir(dir string) (func(), error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("persist: %s is already open in another process (flock: %w)", dir, err)
+	}
+	return func() {
+		_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+		_ = f.Close()
+	}, nil
+}

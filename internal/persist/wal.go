@@ -1,0 +1,444 @@
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Log is the segmented write-ahead log. Appends go to the active segment;
+// when it outgrows Options.SegmentBytes the segment is fsynced, closed and a
+// new one started, so a torn write can only ever sit at the tail of the
+// newest segment. All methods are safe for concurrent use.
+//
+// Durability bookkeeping is two monotonic byte counters: written (bytes
+// fully handed to the kernel) and synced (bytes known to be on stable
+// storage). Under FsyncAlways each append waits for synced to cover its own
+// end offset; the group-commit fast path is that one writer's fsync advances
+// synced past many waiters at once, and rotation — which always fsyncs the
+// outgoing segment — does the same.
+type Log struct {
+	dir string
+	o   Options
+
+	mu      sync.Mutex // guards the fields below (append/rotate path)
+	f       *os.File
+	seq     uint64           // active segment number
+	segSize int64            // bytes in the active segment
+	live    map[uint64]int64 // sizes of all live segments, active included
+	scratch []byte           // reusable encode buffer
+	written uint64           // total bytes appended this session
+	err     error            // sticky write error: the log is dead once set
+
+	synced atomic.Uint64
+	syncMu sync.Mutex // serialises group-commit fsyncs
+
+	stop chan struct{} // interval-fsync loop, nil unless FsyncInterval
+	done sync.WaitGroup
+}
+
+const (
+	segPrefix = "wal-"
+	segSuffix = ".log"
+)
+
+func segName(seq uint64) string { return fmt.Sprintf("%s%020d%s", segPrefix, seq, segSuffix) }
+
+func parseSegName(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(name[len(segPrefix):len(name)-len(segSuffix)], 10, 64)
+	return seq, err == nil
+}
+
+// listSegments returns the WAL segment numbers present in dir, ascending.
+func listSegments(dir string) ([]uint64, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range ents {
+		if seq, ok := parseSegName(e.Name()); ok {
+			seqs = append(seqs, seq)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// OpenLog starts a fresh active segment with the given number (which must
+// not exist yet — recovery always rotates past replayed segments) and
+// adopts any older segments still in dir into the live-size accounting.
+func OpenLog(dir string, seq uint64, o Options) (*Log, error) {
+	o = o.normalize()
+	w := &Log{dir: dir, o: o, seq: seq, live: map[uint64]int64{}}
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range seqs {
+		if s >= seq {
+			return nil, fmt.Errorf("persist: segment %d already exists at or past new active %d", s, seq)
+		}
+		if fi, err := os.Stat(filepath.Join(dir, segName(s))); err == nil {
+			w.live[s] = fi.Size()
+		}
+	}
+	w.f, err = os.OpenFile(filepath.Join(dir, segName(seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	w.live[seq] = 0
+	syncDir(dir)
+	if o.Fsync == FsyncInterval {
+		w.stop = make(chan struct{})
+		w.done.Add(1)
+		go w.syncLoop()
+	}
+	return w, nil
+}
+
+func (w *Log) syncLoop() {
+	defer w.done.Done()
+	t := time.NewTicker(w.o.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = w.Sync()
+		case <-w.stop:
+			return
+		}
+	}
+}
+
+// AppendPut logs a point upsert. Under FsyncAlways it returns only once the
+// record is on stable storage.
+func (w *Log) AppendPut(k, v int64) error {
+	return w.append(func(b []byte) []byte { return encodePut(b, k, v) })
+}
+
+// AppendDelete logs a point delete.
+func (w *Log) AppendDelete(k int64) error {
+	return w.append(func(b []byte) []byte { return encodeDelete(b, k) })
+}
+
+// maxBatchPairs caps the pairs per batch record so no record can approach
+// maxRecordBytes (worst case ~10 bytes per varint pair → ~80 MiB). Larger
+// client batches are logged as consecutive chunk records; each chunk
+// replays atomically, which is exactly the guarantee the in-memory batch
+// gives anyway (a batch is applied gate by gate, not atomically). A var,
+// not a const, so tests can exercise the chunking cheaply.
+var maxBatchPairs = 1 << 22
+
+// AppendPutBatch logs a PutBatch, splitting oversized batches into chunk
+// records.
+func (w *Log) AppendPutBatch(keys, vals []int64) error {
+	for len(keys) > maxBatchPairs {
+		if err := w.append(func(b []byte) []byte {
+			return encodeBatch(b, KindPutBatch, keys[:maxBatchPairs], vals[:maxBatchPairs])
+		}); err != nil {
+			return err
+		}
+		keys, vals = keys[maxBatchPairs:], vals[maxBatchPairs:]
+	}
+	return w.append(func(b []byte) []byte { return encodeBatch(b, KindPutBatch, keys, vals) })
+}
+
+// AppendDeleteBatch logs a DeleteBatch, splitting oversized batches into
+// chunk records.
+func (w *Log) AppendDeleteBatch(keys []int64) error {
+	for len(keys) > maxBatchPairs {
+		if err := w.append(func(b []byte) []byte {
+			return encodeBatch(b, KindDeleteBatch, keys[:maxBatchPairs], nil)
+		}); err != nil {
+			return err
+		}
+		keys = keys[maxBatchPairs:]
+	}
+	return w.append(func(b []byte) []byte { return encodeBatch(b, KindDeleteBatch, keys, nil) })
+}
+
+func (w *Log) append(encode func([]byte) []byte) error {
+	w.mu.Lock()
+	if w.err != nil {
+		err := w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.scratch = encode(w.scratch[:0])
+	rec := w.scratch
+	if len(rec)-frameHeader > maxRecordBytes {
+		// Never write a record replay would reject as corrupt: that
+		// would acknowledge an update and then silently truncate it
+		// (and everything after it) on the next recovery.
+		w.mu.Unlock()
+		return fmt.Errorf("persist: record payload %d bytes exceeds the %d limit", len(rec)-frameHeader, maxRecordBytes)
+	}
+	if w.segSize > 0 && w.segSize+int64(len(rec)) > w.o.SegmentBytes {
+		if err := w.rotateLocked(); err != nil {
+			w.mu.Unlock()
+			return err
+		}
+	}
+	if _, err := w.f.Write(rec); err != nil {
+		w.err = fmt.Errorf("persist: wal append: %w", err)
+		err = w.err
+		w.mu.Unlock()
+		return err
+	}
+	w.segSize += int64(len(rec))
+	w.live[w.seq] = w.segSize
+	w.written += uint64(len(rec))
+	target := w.written
+	w.mu.Unlock()
+
+	if w.o.Fsync == FsyncAlways {
+		return w.syncTo(target)
+	}
+	return nil
+}
+
+// rotateLocked fsyncs and closes the active segment and opens the next one.
+// Called with mu held. Because the outgoing segment is fsynced, synced can
+// jump to everything written so far.
+func (w *Log) rotateLocked() error {
+	if err := w.f.Sync(); err != nil {
+		w.err = fmt.Errorf("persist: wal rotate sync: %w", err)
+		return w.err
+	}
+	advanceMax(&w.synced, w.written)
+	if err := w.f.Close(); err != nil {
+		w.err = fmt.Errorf("persist: wal rotate close: %w", err)
+		return w.err
+	}
+	w.seq++
+	f, err := os.OpenFile(filepath.Join(w.dir, segName(w.seq)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		w.err = fmt.Errorf("persist: wal rotate open: %w", err)
+		return w.err
+	}
+	w.f = f
+	w.segSize = 0
+	w.live[w.seq] = 0
+	syncDir(w.dir)
+	return nil
+}
+
+// Rotate forces a segment boundary and returns the new active segment
+// number. A snapshot cuts here: it covers everything before the returned
+// segment, so recovery replays from it and older segments become garbage.
+func (w *Log) Rotate() (uint64, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.err != nil {
+		return 0, w.err
+	}
+	if err := w.rotateLocked(); err != nil {
+		return 0, err
+	}
+	return w.seq, nil
+}
+
+// Sync forces everything appended so far to stable storage.
+func (w *Log) Sync() error {
+	w.mu.Lock()
+	target := w.written
+	err := w.err
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return w.syncTo(target)
+}
+
+// syncTo blocks until synced covers target. The caller that wins syncMu
+// fsyncs on behalf of everyone queued behind it (group commit); waiters
+// whose target was covered meanwhile return without touching the disk.
+func (w *Log) syncTo(target uint64) error {
+	if w.synced.Load() >= target {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.synced.Load() >= target {
+		return nil
+	}
+	w.mu.Lock()
+	f, written, err := w.f, w.written, w.err
+	w.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		// The segment may have been rotated (and fsynced) under us,
+		// closing f; if synced now covers the target that fsync was
+		// ours in spirit.
+		if w.synced.Load() >= target {
+			return nil
+		}
+		w.mu.Lock()
+		w.err = fmt.Errorf("persist: wal fsync: %w", err)
+		w.mu.Unlock()
+		return err
+	}
+	advanceMax(&w.synced, written)
+	return nil
+}
+
+func advanceMax(a *atomic.Uint64, v uint64) {
+	for {
+		cur := a.Load()
+		if cur >= v || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// LiveBytes returns the total size of all live segments — the replay work a
+// crash would cost right now, and the input to the compaction trigger.
+func (w *Log) LiveBytes() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var n int64
+	for _, sz := range w.live {
+		n += sz
+	}
+	return n
+}
+
+// ActiveSeq returns the active segment number.
+func (w *Log) ActiveSeq() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.seq
+}
+
+// TruncateBefore removes all segments numbered below seq — called after a
+// snapshot covering them has been durably written. Removal failures are
+// ignored: a leftover segment is re-deleted after the next snapshot, and
+// replay skips segments below the snapshot's cut anyway.
+func (w *Log) TruncateBefore(seq uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for s := range w.live {
+		if s < seq {
+			_ = os.Remove(filepath.Join(w.dir, segName(s)))
+			delete(w.live, s)
+		}
+	}
+	syncDir(w.dir)
+}
+
+// Close fsyncs and closes the active segment. The log must not be used
+// afterwards; Close is idempotent only through its owner (pmago.DB guards).
+func (w *Log) Close() error {
+	if w.stop != nil {
+		close(w.stop)
+		w.done.Wait()
+	}
+	syncErr := w.Sync()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	closeErr := w.f.Close()
+	if w.err == nil {
+		w.err = fmt.Errorf("persist: log closed")
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}
+
+// Replay feeds every complete record in segments >= fromSeq, in log order,
+// to fn. A torn or corrupt record in the final segment ends replay and is
+// truncated off the file together with everything after it — the signature
+// of a crash mid-append; the same damage in any earlier segment is returned
+// as an error, because closed segments were fsynced and should never tear.
+// It returns the highest segment number seen (fromSeq-1 when none exist),
+// so the caller can open the log past it.
+func Replay(dir string, fromSeq uint64, fn func(*Record) error) (lastSeq uint64, err error) {
+	seqs, err := listSegments(dir)
+	if err != nil {
+		return 0, err
+	}
+	lastSeq = fromSeq - 1
+	var replay []uint64
+	for _, s := range seqs {
+		if s >= fromSeq {
+			replay = append(replay, s)
+		}
+	}
+	for i, s := range replay {
+		if i > 0 && s != replay[i-1]+1 {
+			return 0, fmt.Errorf("persist: wal gap: segment %d follows %d", s, replay[i-1])
+		}
+	}
+	// The cut segment itself must be the first one replayed: a snapshot's
+	// rotation always creates segment fromSeq, so starting anywhere later
+	// means records between the checkpoint and the surviving tail are
+	// gone (e.g. a fallback to an older snapshot whose segments were
+	// already truncated). An empty tail is fine — a snapshot-only restore.
+	if len(replay) > 0 && replay[0] != fromSeq {
+		return 0, fmt.Errorf("persist: wal history incomplete: replay must start at segment %d but oldest surviving segment is %d", fromSeq, replay[0])
+	}
+	var rec Record
+	for i, s := range replay {
+		path := filepath.Join(dir, segName(s))
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return 0, err
+		}
+		off := 0
+		for off < len(data) {
+			n, ok := decodeRecord(data[off:], &rec)
+			if !ok {
+				if i != len(replay)-1 {
+					return 0, fmt.Errorf("persist: corrupt record at %s offset %d (closed segment)", segName(s), off)
+				}
+				// A crash can only tear the very last append: nothing is
+				// ever written after a torn record. If checksum-valid
+				// records exist past the damage, this is bit rot eating
+				// acknowledged writes — refuse, like for closed segments,
+				// rather than silently truncating the valid suffix.
+				if hasValidRecordAfter(data, off) {
+					return 0, fmt.Errorf("persist: corrupt record at %s offset %d followed by valid records (bit rot, not a torn tail)", segName(s), off)
+				}
+				if err := os.Truncate(path, int64(off)); err != nil {
+					return 0, fmt.Errorf("persist: truncating torn tail of %s: %w", segName(s), err)
+				}
+				syncDir(dir)
+				break
+			}
+			if err := fn(&rec); err != nil {
+				return 0, err
+			}
+			off += n
+		}
+		lastSeq = s
+	}
+	return lastSeq, nil
+}
+
+// hasValidRecordAfter reports whether a checksum-valid record starts at any
+// offset past a decode failure — the discriminator between a torn final
+// append (nothing follows) and mid-segment corruption (the rest of the
+// segment is still there). Only runs on the corruption path; a chance CRC
+// match in torn garbage is a ~2^-32 event.
+func hasValidRecordAfter(data []byte, off int) bool {
+	var rec Record
+	for i := off + 1; i+frameHeader <= len(data); i++ {
+		if _, ok := decodeRecord(data[i:], &rec); ok {
+			return true
+		}
+	}
+	return false
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"pmago/internal/core"
+	"pmago/internal/persist"
 	"pmago/internal/rma"
 )
 
@@ -33,29 +34,75 @@ const (
 // Stats exposes the structural-event counters of the store.
 type Stats = core.Stats
 
+// FsyncPolicy selects when WAL appends of a durable store (Open) reach
+// stable storage; see the constants for the crash guarantee each buys.
+type FsyncPolicy = persist.FsyncPolicy
+
+const (
+	// FsyncAlways makes every acknowledged write durable before the call
+	// returns (concurrent writers share fsyncs via group commit).
+	FsyncAlways = persist.FsyncAlways
+	// FsyncInterval fsyncs on a timer: a power loss costs at most the
+	// last interval; a mere process crash costs nothing.
+	FsyncInterval = persist.FsyncInterval
+	// FsyncNone leaves write-back to the OS: fastest, survives process
+	// crashes, no power-loss guarantee.
+	FsyncNone = persist.FsyncNone
+)
+
+// config bundles the in-memory PMA configuration with the durability
+// options consumed only by Open (New and BulkLoad ignore the latter).
+type config struct {
+	core core.Config
+	dur  persist.Options
+}
+
+func defaultConfig() config {
+	return config{core: core.DefaultConfig(), dur: persist.DefaultOptions()}
+}
+
 // Option customises a PMA.
-type Option func(*core.Config)
+type Option func(*config)
 
 // WithMode selects the update-processing scheme.
-func WithMode(m Mode) Option { return func(c *core.Config) { c.Mode = m } }
+func WithMode(m Mode) Option { return func(c *config) { c.core.Mode = m } }
 
 // WithSegmentCapacity sets the slots per segment (power of two, >= 4; the
 // paper uses 128 and evaluates 256 as an ablation).
-func WithSegmentCapacity(b int) Option { return func(c *core.Config) { c.SegmentCapacity = b } }
+func WithSegmentCapacity(b int) Option { return func(c *config) { c.core.SegmentCapacity = b } }
 
 // WithSegmentsPerGate sets the chunk granularity (power of two; paper: 8).
-func WithSegmentsPerGate(n int) Option { return func(c *core.Config) { c.SegmentsPerGate = n } }
+func WithSegmentsPerGate(n int) Option { return func(c *config) { c.core.SegmentsPerGate = n } }
 
 // WithTDelay sets the minimum delay between global rebalances of one gate
 // in ModeBatch (paper: 100 ms, evaluated 0-800 ms).
-func WithTDelay(d time.Duration) Option { return func(c *core.Config) { c.TDelay = d } }
+func WithTDelay(d time.Duration) Option { return func(c *config) { c.core.TDelay = d } }
 
 // WithWorkers sets the rebalancer worker-pool size (paper: 8).
-func WithWorkers(n int) Option { return func(c *core.Config) { c.Workers = n } }
+func WithWorkers(n int) Option { return func(c *config) { c.core.Workers = n } }
 
 // WithAdaptive forces adaptive rebalancing for local rebalances (implied by
 // ModeOneByOne).
-func WithAdaptive() Option { return func(c *core.Config) { c.Adaptive = true } }
+func WithAdaptive() Option { return func(c *config) { c.core.Adaptive = true } }
+
+// WithFsync selects the WAL fsync policy of a durable store (default
+// FsyncAlways).
+func WithFsync(p FsyncPolicy) Option { return func(c *config) { c.dur.Fsync = p } }
+
+// WithFsyncInterval sets the FsyncInterval period (default 50 ms).
+func WithFsyncInterval(d time.Duration) Option { return func(c *config) { c.dur.FsyncEvery = d } }
+
+// WithWALSegmentBytes sets the WAL segment rotation size (default 64 MiB).
+func WithWALSegmentBytes(n int64) Option { return func(c *config) { c.dur.SegmentBytes = n } }
+
+// WithCompactRatio makes a durable store snapshot itself automatically when
+// the live WAL exceeds ratio × the last snapshot's size (default 4; zero or
+// negative disables auto-compaction — Snapshot can still be called).
+func WithCompactRatio(r float64) Option { return func(c *config) { c.dur.CompactRatio = r } }
+
+// WithCompactMinBytes sets the WAL size below which auto-compaction never
+// fires, and the trigger while no snapshot exists yet (default 8 MiB).
+func WithCompactMinBytes(n int64) Option { return func(c *config) { c.dur.CompactMinBytes = n } }
 
 // PMA is a concurrent packed memory array mapping int64 keys to int64
 // values in sorted key order. All methods are safe for concurrent use by any
@@ -67,11 +114,11 @@ type PMA struct {
 // New creates an empty PMA with the paper's default configuration modified
 // by the given options.
 func New(opts ...Option) (*PMA, error) {
-	cfg := core.DefaultConfig()
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
-	c, err := core.New(cfg)
+	c, err := core.New(cfg.core)
 	if err != nil {
 		return nil, err
 	}
@@ -85,11 +132,11 @@ func New(opts ...Option) (*PMA, error) {
 // first; duplicate keys collapse to their last occurrence, matching the
 // effect of sequential Puts. The returned PMA must be Closed like any other.
 func BulkLoad(keys, vals []int64, opts ...Option) (*PMA, error) {
-	cfg := core.DefaultConfig()
+	cfg := defaultConfig()
 	for _, o := range opts {
 		o(&cfg)
 	}
-	c, err := core.BulkLoad(cfg, keys, vals)
+	c, err := core.BulkLoad(cfg.core, keys, vals)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +144,8 @@ func BulkLoad(keys, vals []int64, opts ...Option) (*PMA, error) {
 }
 
 // Close stops the rebalancer and garbage-collector goroutines, applying any
-// still-pending combined updates first. The PMA must not be used afterwards.
+// still-pending combined updates first. Close is idempotent; any other use
+// of a closed PMA panics with "pmago: use after Close".
 func (p *PMA) Close() { p.c.Close() }
 
 // Put inserts k/v, replacing the value if k is present. In the asynchronous
