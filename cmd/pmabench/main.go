@@ -6,12 +6,19 @@
 //	pmabench -experiment figure4 -plot b     # Figure 4a-c
 //	pmabench -experiment ablation-segment    # Section 4.1 text: B=128 vs 256
 //	pmabench -experiment ablation-leaf       # Section 4.1 text: 4KiB vs 8KiB leaves
+//	pmabench -experiment reads               # optimistic (seqlock) vs latched reads
 //	pmabench -experiment batch               # batch subsystem: PutBatch/BulkLoad vs point loops
 //	pmabench -experiment durability          # WAL fsync policies + recovery time
 //	pmabench -experiment all                 # everything, in order
 //
+// -experiment also accepts a comma-separated list (e.g. "reads,batch").
+//
 // The defaults are laptop-scale; -inserts/-load/-ops/-threads restore any
-// scale (the paper used 1G elements and 16 hardware threads).
+// scale (the paper used 1G elements and 16 hardware threads). With -json
+// FILE every experiment in the run additionally records its measurements
+// into one machine-readable report (see internal/bench/json.go): CI uploads
+// a tiny-scale report as an artifact on each run, and full-scale local
+// reports are committed as BENCH_<pr>.json to track the perf trajectory.
 package main
 
 import (
@@ -19,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"slices"
+	"strings"
 	"time"
 
 	"pmago/internal/bench"
@@ -26,13 +35,15 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | batch | durability | graph | all")
+		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | reads | batch | durability | graph | all, or a comma-separated list")
 		plot       = flag.String("plot", "", "figure3: a-f (empty = all); figure4: a-c (empty = all)")
 		inserts    = flag.Int("inserts", bench.DefaultScale().InsertN, "elements inserted in insert-only experiments")
 		loadN      = flag.Int("load", bench.DefaultScale().LoadN, "preloaded base size for the mixed experiments")
 		mixedN     = flag.Int("ops", bench.DefaultScale().MixedN, "timed update ops in the mixed experiments")
 		threads    = flag.Int("threads", bench.DefaultScale().Threads, "total worker threads (goroutines), as in the paper's 16")
 		seed       = flag.Int64("seed", 1, "base RNG seed")
+		jsonPath   = flag.String("json", "", "also write all measurements to this file as a JSON report")
+		readSecs   = flag.Float64("read-seconds", 1.0, "measured seconds per cell of the reads experiment")
 	)
 	flag.Parse()
 
@@ -40,40 +51,104 @@ func main() {
 	fmt.Printf("pmabench: scale inserts=%d load=%d mixed-ops=%d threads=%d (GOMAXPROCS=%d)\n\n",
 		sc.InsertN, sc.LoadN, sc.MixedN, sc.Threads, runtime.GOMAXPROCS(0))
 
-	switch *experiment {
-	case "figure3":
-		runFigure3(sc, *plot)
-	case "figure4":
-		runFigure4(sc, *plot)
-	case "ablation-segment":
-		bench.PrintResults(os.Stdout, "Section 4.1 ablation: PMA segment size 128 vs 256 (8 upd + 8 scan threads)",
-			bench.RunSegmentAblation(sc), true)
-	case "ablation-leaf":
-		bench.PrintResults(os.Stdout, "Section 4.1 ablation: ART/B+-tree leaf 4KiB vs 8KiB (8 upd + 8 scan threads)",
-			bench.RunLeafAblation(sc), true)
-	case "batch":
-		printBatch(sc)
-	case "durability":
-		printDurability(sc)
-	case "graph":
-		printGraph(sc)
-	case "all":
-		runFigure3(sc, "")
-		runFigure4(sc, "")
-		bench.PrintResults(os.Stdout, "Section 4.1 ablation: PMA segment size 128 vs 256",
-			bench.RunSegmentAblation(sc), true)
-		bench.PrintResults(os.Stdout, "Section 4.1 ablation: ART/B+-tree leaf 4KiB vs 8KiB",
-			bench.RunLeafAblation(sc), true)
-		printBatch(sc)
-		printDurability(sc)
-		printGraph(sc)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *experiment)
-		os.Exit(2)
+	var report *bench.Report
+	if *jsonPath != "" {
+		report = bench.NewReport(sc)
+	}
+	readDur := time.Duration(*readSecs * float64(time.Second))
+
+	// "all" expands to every experiment name, so each experiment has
+	// exactly one handler (no drift between the single and the all run).
+	known := []string{
+		"figure3", "figure4", "ablation-segment", "ablation-leaf",
+		"reads", "batch", "durability", "graph",
+	}
+	var experiments []string
+	for _, exp := range strings.Split(*experiment, ",") {
+		if exp = strings.TrimSpace(exp); exp == "all" {
+			experiments = append(experiments, known...)
+		} else {
+			// Reject unknown names before any experiment runs: a typo at
+			// the end of a list must not waste the whole run.
+			if !slices.Contains(known, exp) {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q\n", exp)
+				os.Exit(2)
+			}
+			experiments = append(experiments, exp)
+		}
+	}
+	// Dedupe (e.g. "all,batch"): rerunning an experiment doubles runtime
+	// and emits duplicate metric rows trend tooling would trip over.
+	seen := map[string]bool{}
+	experiments = slices.DeleteFunc(experiments, func(e string) bool {
+		if seen[e] {
+			return true
+		}
+		seen[e] = true
+		return false
+	})
+	for _, exp := range experiments {
+		switch exp {
+		case "figure3":
+			runFigure3(sc, *plot, report)
+		case "figure4":
+			runFigure4(sc, *plot, report)
+		case "ablation-segment":
+			rs := bench.RunSegmentAblation(sc)
+			bench.PrintResults(os.Stdout, "Section 4.1 ablation: PMA segment size 128 vs 256 (8 upd + 8 scan threads)", rs, true)
+			report.AddResults("ablation-segment", rs, true)
+		case "ablation-leaf":
+			rs := bench.RunLeafAblation(sc)
+			bench.PrintResults(os.Stdout, "Section 4.1 ablation: ART/B+-tree leaf 4KiB vs 8KiB (8 upd + 8 scan threads)", rs, true)
+			report.AddResults("ablation-leaf", rs, true)
+		case "reads":
+			printReads(sc, readDur, report)
+		case "batch":
+			printBatch(sc, report)
+		case "durability":
+			printDurability(sc, report)
+		case "graph":
+			printGraph(sc, report)
+		}
+	}
+
+	if report != nil {
+		if err := report.WriteFile(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d metrics to %s\n", len(report.Metrics), *jsonPath)
 	}
 }
 
-func printBatch(sc bench.Scale) {
+func printReads(sc bench.Scale, perCell time.Duration, report *bench.Report) {
+	fmt.Println("== Read path: optimistic (seqlock) Get vs shared-latch baseline ==")
+	rs := bench.RunReads(sc, perCell)
+	// Cells come in (latched, optimistic) pairs per mix; index them for the
+	// speedup column.
+	byKey := map[string]bench.ReadsResult{}
+	for _, r := range rs {
+		byKey[fmt.Sprintf("%s/%d", r.Variant, r.WriterPct)] = r
+	}
+	for _, pct := range bench.ReadsWriterMixes {
+		opt := byKey[fmt.Sprintf("optimistic/%d", pct)]
+		lat := byKey[fmt.Sprintf("latched/%d", pct)]
+		speedup := 0.0
+		if lat.GetsPerSec > 0 {
+			speedup = opt.GetsPerSec / lat.GetsPerSec
+		}
+		fmt.Printf("%2d%% writers (%2dr/%2dw): latched %7.2f M gets/s, optimistic %7.2f M gets/s, speedup %5.2fx",
+			pct, opt.Readers, opt.Writers, lat.GetsPerSec/1e6, opt.GetsPerSec/1e6, speedup)
+		if opt.Writers > 0 {
+			fmt.Printf("  (puts: latched %5.2f M/s, optimistic %5.2f M/s)", lat.PutsPerSec/1e6, opt.PutsPerSec/1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	report.AddReads(rs)
+}
+
+func printBatch(sc bench.Scale, report *bench.Report) {
 	fmt.Println("== Batch subsystem: PutBatch / BulkLoad vs point-update loops ==")
 	n := sc.InsertN / 2
 	for _, cl := range []int{0, 32, 128} {
@@ -84,18 +159,26 @@ func printBatch(sc bench.Scale) {
 		r := bench.RunBatchComparison(sc.LoadN, n, 10_000, cl, sc.Seed)
 		fmt.Printf("PutBatch 10k (%-15s): point %6.2f M/s, batch %6.2f M/s, speedup %5.1fx\n",
 			shape, r.PointPerSec/1e6, r.BatchPerSec/1e6, r.Speedup)
+		labels := map[string]string{"shape": shape}
+		report.Add("batch", "point_put", labels, "ops/s", r.PointPerSec)
+		report.Add("batch", "put_batch", labels, "ops/s", r.BatchPerSec)
 	}
 	b := bench.RunBulkComparison(sc.InsertN, sc.Seed)
 	fmt.Printf("BulkLoad %d keys: point %v, bulk %v, speedup %.1fx\n\n",
 		b.N, b.PointWall.Round(time.Millisecond), b.BulkWall.Round(time.Millisecond), b.Speedup)
+	report.Add("batch", "bulk_load", map[string]string{"n": fmt.Sprintf("%d", b.N)}, "seconds", b.BulkWall.Seconds())
+	report.Add("batch", "point_load", map[string]string{"n": fmt.Sprintf("%d", b.N)}, "seconds", b.PointWall.Seconds())
 }
 
-func printDurability(sc bench.Scale) {
+func printDurability(sc bench.Scale, report *bench.Report) {
 	fmt.Println("== Durability: WAL fsync policies and crash recovery ==")
 	n := sc.MixedN
 	for _, r := range bench.RunDurableWrites(n, sc.Threads, sc.Seed) {
 		fmt.Printf("durable Put %8d ops, %2d threads, fsync=%-8s: %7.2f M/s\n",
 			r.N, r.Threads, r.Policy, r.PerSec/1e6)
+		report.Add("durability", "durable_put",
+			map[string]string{"fsync": fmt.Sprintf("%v", r.Policy), "threads": fmt.Sprintf("%d", r.Threads)},
+			"ops/s", r.PerSec)
 	}
 	sizes := []int{sc.InsertN / 8, sc.InsertN}
 	if sizes[0] < 1 {
@@ -104,6 +187,8 @@ func printDurability(sc bench.Scale) {
 	for _, r := range bench.RunRecovery(sizes, sc.Seed) {
 		fmt.Printf("recovery %9d pairs (snapshot %s + WAL tail %d): Open in %v\n",
 			r.N, byteSize(r.SnapshotBytes), r.TailN, r.OpenTime.Round(time.Millisecond))
+		report.Add("durability", "recovery",
+			map[string]string{"pairs": fmt.Sprintf("%d", r.N)}, "seconds", r.OpenTime.Seconds())
 	}
 	fmt.Println()
 }
@@ -119,25 +204,29 @@ func byteSize(n int64) string {
 	}
 }
 
-func printGraph(sc bench.Scale) {
+func printGraph(sc bench.Scale, report *bench.Report) {
 	res := bench.RunGraph(sc.InsertN, 1<<20, sc.Threads/2, sc.Seed)
 	fmt.Println("== Section 6: dynamic CRS graph on the concurrent PMA ==")
 	fmt.Printf("edge updates:        %.3f M/s\n", res.EdgesPerSec/1e6)
 	fmt.Printf("neighbour expansion: %.2f M edges/s concurrent with updates\n", res.NeighborsPerSec/1e6)
 	fmt.Printf("PageRank (3 iters):  %v over %d edges\n\n", res.PageRankTime.Round(time.Millisecond), res.FinalEdges)
+	report.Add("graph", "edge_updates", nil, "ops/s", res.EdgesPerSec)
+	report.Add("graph", "neighbour_expansion", nil, "edges/s", res.NeighborsPerSec)
+	report.Add("graph", "pagerank_3iters", nil, "seconds", res.PageRankTime.Seconds())
 }
 
-func runFigure3(sc bench.Scale, plot string) {
+func runFigure3(sc bench.Scale, plot string, report *bench.Report) {
 	for _, p := range bench.Figure3Plots(sc.Threads) {
 		if plot != "" && p.ID != plot {
 			continue
 		}
 		rs := bench.RunFigure3(p, bench.PaperFactories(), sc)
 		bench.PrintResults(os.Stdout, fmt.Sprintf("Figure 3%s) %s", p.ID, p.Caption), rs, p.ScanThreads > 0)
+		report.AddResults("figure3"+p.ID, rs, p.ScanThreads > 0)
 	}
 }
 
-func runFigure4(sc bench.Scale, plot string) {
+func runFigure4(sc bench.Scale, plot string, report *bench.Report) {
 	type sub struct {
 		id      string
 		updThr  int
@@ -154,5 +243,13 @@ func runFigure4(sc bench.Scale, plot string) {
 		}
 		variants, rows := bench.RunFigure4(s.updThr, sc)
 		bench.PrintSpeedups(os.Stdout, s.caption, variants, rows)
+		for _, row := range rows {
+			labels := map[string]string{"distribution": row.Dist.String(), "variant": "Baseline"}
+			report.Add("figure4"+s.id, "updates", labels, "ops/s", row.Baseline)
+			for i, v := range variants[1:] {
+				labels := map[string]string{"distribution": row.Dist.String(), "variant": v.Name}
+				report.Add("figure4"+s.id, "updates", labels, "ops/s", row.Baseline*row.Speedup[i+1])
+			}
+		}
 	}
 }

@@ -10,12 +10,20 @@
 // a read-write latch bundled with the chunk's fence keys (Section 3.1-3.2).
 // A static B+-tree index routes every operation to its gate without
 // synchronisation; fence-key verification absorbs racy index reads.
-// Rebalances that would span several gates are delegated to a centralised
-// rebalancer service (one master goroutine plus a worker pool, Section 3.3),
-// so no client ever holds more than one latch. Resizes rebuild the whole
-// array behind an atomic state pointer with epoch-based reclamation
-// (Section 3.4), and contended writers are decoupled through per-gate
-// combining queues with one-by-one or batch processing (Section 3.5).
+// Readers normally bypass the latch entirely: every gate carries a seqlock
+// version counter, and Get and Scan validate an unsynchronised chunk read
+// against it, taking the shared latch only after repeated validation
+// failures on a writer-heavy gate — so reads proceed without touching any
+// mutex and never serialize behind writers. Scan copies each validated
+// chunk out and runs the callback on the copy with no latch held: callbacks
+// may call update operations of the same PMA and may be slow without
+// blocking writers. Rebalances that would span several gates are delegated
+// to a centralised rebalancer service (one master goroutine plus a worker
+// pool, Section 3.3), so no client ever holds more than one latch. Resizes
+// rebuild the whole array behind an atomic state pointer with epoch-based
+// reclamation (Section 3.4), and contended writers are decoupled through
+// per-gate combining queues with one-by-one or batch processing
+// (Section 3.5).
 //
 // # Point and batch updates
 //

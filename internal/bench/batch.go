@@ -159,13 +159,26 @@ func RunBulkComparison(n int, seed int64) BulkResult {
 // every slot exactly once.
 const ingestSlots = 1 << 24
 
+// slotSpace widens the slot space when a run asks for more keys than
+// ingestSlots: an odd multiplier is a bijection modulo any power of two, so
+// doubling until n fits keeps every generated key distinct (RunRecovery
+// panics on duplicate-collapsed counts otherwise).
+func slotSpace(n int) int64 {
+	slots := int64(ingestSlots)
+	for slots < int64(n) {
+		slots <<= 1
+	}
+	return slots
+}
+
 // preloadKeys generates loadN distinct even keys scattered uniformly over
 // the slot space, the base dataset of the ingest experiments.
 func preloadKeys(loadN int, seed int64) (keys, vals []int64) {
 	keys = make([]int64, loadN)
 	vals = make([]int64, loadN)
+	mask := slotSpace(loadN) - 1
 	for i := range keys {
-		keys[i] = 2 * ((int64(i)*0x85EBCA77 + seed) & (ingestSlots - 1))
+		keys[i] = 2 * ((int64(i)*0x85EBCA77 + seed) & mask)
 		vals[i] = keys[i]
 	}
 	return keys, vals
@@ -191,8 +204,9 @@ func preload(s BatchStore, loadN int, seed int64) {
 func freshKeys(n int, seed int64) (keys, vals []int64) {
 	keys = make([]int64, n)
 	vals = make([]int64, n)
+	mask := slotSpace(n) - 1
 	for i := range keys {
-		keys[i] = 2*((int64(i)*0x9E3779B1+seed)&(ingestSlots-1)) + 1
+		keys[i] = 2*((int64(i)*0x9E3779B1+seed)&mask) + 1
 		vals[i] = int64(i)
 	}
 	return keys, vals
@@ -204,7 +218,7 @@ func freshKeys(n int, seed int64) (keys, vals []int64) {
 func clusteredKeys(n, clusterLen int, seed int64) (keys, vals []int64) {
 	keys = make([]int64, n)
 	vals = make([]int64, n)
-	numClusters := int64(ingestSlots / clusterLen)
+	numClusters := slotSpace(n) / int64(clusterLen) // clusterLen: power of two
 	ci := int64(0)
 	for i := 0; i < n; i += clusterLen {
 		cid := (ci*0x9E3779B1 + seed) & (numClusters - 1)

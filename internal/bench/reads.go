@@ -1,0 +1,152 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmago/internal/core"
+)
+
+// This file is the read-path experiment behind `pmabench -experiment reads`:
+// it measures Get throughput of the optimistic (seqlock) read protocol
+// against the shared-latch baseline (core.Config.DisableOptimisticReads) at
+// 0%, 25% and 50% writer mixes, over the same preloaded store. The
+// acceptance bar for the optimistic path is that it improves the
+// uncontended mix and regresses no mix — the numbers are recorded in
+// README.md and the BENCH_*.json trajectory.
+
+// ReadsResult is one cell of the read-path comparison.
+type ReadsResult struct {
+	Variant    string // "optimistic" or "latched"
+	WriterPct  int    // requested share of threads issuing updates
+	Readers    int    // goroutines issuing Gets
+	Writers    int    // goroutines issuing Puts
+	GetsPerSec float64
+	PutsPerSec float64
+	Wall       time.Duration
+}
+
+// ReadsWriterMixes are the evaluated writer shares, in percent of threads.
+var ReadsWriterMixes = []int{0, 25, 50}
+
+// RunReads executes the full grid: for each writer mix, the same time-boxed
+// workload against a PMA with optimistic reads enabled and one with them
+// disabled. perCell bounds the measured window of each cell; every cell is
+// run twice and the better Get rate kept, damping scheduler noise (the
+// cells oversubscribe GOMAXPROCS on small machines, exactly like the
+// paper's 16-thread runs).
+func RunReads(sc Scale, perCell time.Duration) []ReadsResult {
+	if perCell <= 0 {
+		perCell = time.Second
+	}
+	threads := sc.Threads
+	if threads < 2 {
+		threads = 2
+	}
+	if sc.LoadN < 1 {
+		sc.LoadN = 1 << 16 // readers index the loaded keys; never run empty
+	}
+	keys := make([]int64, sc.LoadN)
+	vals := make([]int64, sc.LoadN)
+	for i := range keys {
+		keys[i] = int64(i)*2 + 1 // odd keys loaded; writers also touch even ones
+		vals[i] = keys[i]
+	}
+	const repeats = 2
+	var out []ReadsResult
+	for _, pct := range ReadsWriterMixes {
+		writers := threads * pct / 100
+		if pct > 0 && writers < 1 {
+			writers = 1 // small -threads must not mislabel a 0%-writer cell
+		}
+		readers := threads - writers
+		if readers < 1 {
+			readers = 1
+		}
+		for _, variant := range []string{"optimistic", "latched"} {
+			cfg := PaperPMAConfig()
+			cfg.DisableOptimisticReads = variant == "latched"
+			var best ReadsResult
+			for rep := 0; rep < repeats; rep++ {
+				r := runReadsCell(cfg, variant, pct, readers, writers, keys, vals, perCell, sc.Seed+int64(rep))
+				if rep == 0 || r.GetsPerSec > best.GetsPerSec {
+					best = r
+				}
+			}
+			out = append(out, best)
+		}
+	}
+	return out
+}
+
+func runReadsCell(cfg core.Config, variant string, pct, readers, writers int, keys, vals []int64, perCell time.Duration, seed int64) ReadsResult {
+	p, err := core.BulkLoad(cfg, keys, vals)
+	if err != nil {
+		panic(fmt.Sprintf("bench: reads bulk load: %v", err))
+	}
+	defer p.Close()
+
+	domain := int64(2 * len(keys)) // even keys are writer-only churn
+	stop := make(chan struct{})
+	var gets, puts atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(rng int64) {
+			defer wg.Done()
+			n := int64(0)
+			for {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				k := keys[(uint64(rng)>>16)%uint64(len(keys))]
+				p.Get(k)
+				n++
+				if n&0x3FF == 0 {
+					select {
+					case <-stop:
+						gets.Add(n)
+						return
+					default:
+					}
+				}
+			}
+		}(seed + int64(r)*7919)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(rng int64) {
+			defer wg.Done()
+			n := int64(0)
+			for {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				k := int64(uint64(rng) >> 16 % uint64(domain))
+				p.Put(k, k)
+				n++
+				if n&0x3FF == 0 {
+					select {
+					case <-stop:
+						puts.Add(n)
+						return
+					default:
+					}
+				}
+			}
+		}(seed ^ int64(w+1)*104729)
+	}
+	start := time.Now()
+	time.Sleep(perCell)
+	close(stop)
+	wg.Wait()
+	wall := time.Since(start)
+	secs := wall.Seconds()
+	return ReadsResult{
+		Variant:    variant,
+		WriterPct:  pct,
+		Readers:    readers,
+		Writers:    writers,
+		GetsPerSec: float64(gets.Load()) / secs,
+		PutsPerSec: float64(puts.Load()) / secs,
+		Wall:       wall,
+	}
+}

@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRunReadsSmall keeps the reads experiment driver from rotting: every
+// cell must run, measure a non-zero Get rate, and report the requested
+// reader/writer split.
+func TestRunReadsSmall(t *testing.T) {
+	sc := Scale{LoadN: 10_000, Threads: 4, Seed: 1}
+	rs := RunReads(sc, 30*time.Millisecond)
+	if want := 2 * len(ReadsWriterMixes); len(rs) != want {
+		t.Fatalf("got %d cells, want %d", len(rs), want)
+	}
+	for _, r := range rs {
+		if r.Variant != "optimistic" && r.Variant != "latched" {
+			t.Fatalf("unexpected variant %q", r.Variant)
+		}
+		if r.GetsPerSec <= 0 {
+			t.Fatalf("%s/%d%%: no Get progress", r.Variant, r.WriterPct)
+		}
+		if r.Readers+r.Writers != sc.Threads {
+			t.Fatalf("%s/%d%%: %d readers + %d writers != %d threads",
+				r.Variant, r.WriterPct, r.Readers, r.Writers, sc.Threads)
+		}
+		if r.WriterPct > 0 && r.Writers == 0 {
+			t.Fatalf("%d%% mix ran without writers", r.WriterPct)
+		}
+	}
+}

@@ -19,6 +19,7 @@ func (p *PMA) drainQueue(st *state, g *gate, guard *epoch.Guard) {
 		g.q.ops = nil
 		if len(ops) == 0 {
 			g.q = nil
+			g.endExclusive() // the drain's mutations are complete
 			g.lstate = lsFree
 			g.cond.Broadcast()
 			g.mu.Unlock()
@@ -73,6 +74,9 @@ func (p *PMA) drainOneByOne(st *state, g *gate, ops []op) (reroute []op, release
 			g.mu.Lock()
 			extra := g.q.ops
 			g.q = nil // stop accepting
+			// No version bump: the latch stays exclusively owned across
+			// the transfer; the rebalancer's rebUnlock ends the odd
+			// period this writer's acquisition began.
 			g.lstate = lsTransferred
 			g.mu.Unlock()
 			req := &request{kind: reqRebalance, st: st, g: g, gen: gen, pending: 1, done: make(chan struct{})}
@@ -156,6 +160,7 @@ func (p *PMA) handOffBatch(st *state, g *gate, ins []op, wait bool) {
 		g.q = &opQueue{ops: ins}
 	}
 	g.pendingBatch = true
+	g.endExclusive() // chunk mutations done; queue hand-off is mu-protected
 	g.lstate = lsFree
 	g.cond.Broadcast()
 	g.mu.Unlock()

@@ -4,7 +4,19 @@
 // The sparse array is split into equal chunks protected by gates (read-write
 // latches plus fence keys and per-segment minima). A static B+-tree index
 // routes operations to gates in O(log_B N) without synchronisation; fence-key
-// verification absorbs racy index reads. Rebalances that span multiple gates
+// verification absorbs racy index reads. Readers normally bypass the latch
+// entirely: each gate carries a seqlock version counter (gate.go) that is
+// odd while an exclusive holder may be mutating the chunk, and Get/Scan
+// validate an unsynchronised chunk read against it, falling back to the
+// shared latch only on sustained contention (read.go).
+//
+// Optimistic readers still run inside an epoch guard. The guard is not what
+// makes the racy chunk reads safe — that is the version validation plus
+// Go's GC keeping racily-loaded references alive — but it keeps the
+// reclamation bookkeeping of Section 3.4 uniform: a retired state is not
+// counted reclaimed while any reader that might still route through its
+// gates is in flight, which also keeps the door open for non-GC resources
+// (e.g. file-backed buffers) behind the same mechanism. Rebalances that span multiple gates
 // are executed by a centralised rebalancer service (one master goroutine,
 // a pool of workers) to which writers transfer their latch ownership, so no
 // client ever holds more than one latch — the deadlock-freedom argument of
@@ -23,6 +35,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -89,6 +102,13 @@ type Config struct {
 	PredictorSize int
 	// GCInterval is the epoch garbage collector period.
 	GCInterval time.Duration
+	// DisableOptimisticReads forces Get and Scan onto the blocking
+	// shared-latch path instead of the seqlock fast path (read.go). The
+	// zero value — optimistic reads on — is the intended configuration;
+	// the switch exists for the before/after comparison in the bench
+	// harness (pmabench -experiment reads) and for diagnosing suspected
+	// fast-path issues.
+	DisableOptimisticReads bool
 }
 
 // DefaultConfig mirrors the evaluation setup of Section 4.
@@ -197,6 +217,11 @@ type PMA struct {
 	epochs *epoch.Manager
 	gc     *epoch.Collector
 	reb    *rebalancer
+
+	// scanBufs recycles the per-Scan chunk copies of the copy-out read
+	// protocol (read.go); geometry is fixed, so every buffer fits every
+	// gate.
+	scanBufs sync.Pool
 
 	shrinkPending atomic.Bool
 	closed        atomic.Bool

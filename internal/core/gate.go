@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"pmago/internal/rewire"
 	"pmago/internal/rma"
@@ -32,6 +33,31 @@ type gate struct {
 	wWaiting  int32 // writers parked on the latch; readers yield to them
 	rebWanted bool  // the rebalancer is waiting: new clients queue behind it
 	invalid   bool  // the array was resized; clients must restart on the new state
+
+	// version is the gate's seqlock generation counter, the optimistic-read
+	// protocol layered over the latch: it is odd exactly while an exclusive
+	// holder (a client writer or the rebalancer) owns the latch and may be
+	// mutating the latch-protected fields, and even while they are stable.
+	// Every transition into exclusive ownership bumps it to odd
+	// (beginExclusive) and every transition out bumps it to even
+	// (endExclusive); the writer→transferred→rebalancer hand-off keeps the
+	// latch exclusively owned throughout, so it bumps neither. Shared
+	// holders never bump: they do not mutate.
+	//
+	// Memory ordering: the bumps are atomic adds and the readers' fences
+	// are atomic loads, so under the Go memory model the odd bump
+	// happens-before the holder's plain writes become observable through a
+	// later even load, and a reader that loads the same even value before
+	// and after its plain reads (Get/Scan fast path, read.go) observed no
+	// concurrent mutation. The reads between the two loads are still racy
+	// by the letter of the model — they may observe torn or stale words —
+	// which is why the fast path clamps all derived indices (getRacy,
+	// collectRacy) and discards everything unless the version validates.
+	// Because those benign-by-construction races cannot be exempted from
+	// the race detector, -race builds compile the fast path out and read
+	// under the shared latch (race_on.go); the stress suite model-checks
+	// the seqlock protocol in normal builds instead.
+	version atomic.Uint64
 
 	q            *opQueue // pQ: set while a writer (or a pending batch) combines
 	pendingBatch bool     // the queue has been handed to the rebalancer
@@ -73,6 +99,22 @@ func newGate(idx, spg, b int, buf *rewire.Buffer, pred *rma.Predictor) *gate {
 
 // --- latch state machine ---
 
+// beginExclusive marks the gate unstable (version odd) as part of acquiring
+// the latch exclusively. Callers hold g.mu and must bump before the acquiring
+// goroutine can issue its first mutation — i.e. before releasing mu. The
+// atomic add is the release barrier that orders the bump before the holder's
+// subsequent plain writes as seen by optimistic readers.
+func (g *gate) beginExclusive() {
+	g.version.Add(1)
+}
+
+// endExclusive marks the gate stable again (version even) as part of
+// releasing an exclusive hold. Callers hold g.mu; every mutation happened
+// before the caller re-acquired mu, so the add publishes a consistent chunk.
+func (g *gate) endExclusive() {
+	g.version.Add(1)
+}
+
 // lockShared blocks while the latch is exclusive, the rebalancer wants the
 // gate, or a writer is parked: without writer priority, back-to-back scan
 // threads would re-acquire the shared latch forever and starve updates.
@@ -102,11 +144,13 @@ func (g *gate) lockX() {
 	}
 	g.wWaiting--
 	g.lstate = lsWriter
+	g.beginExclusive()
 	g.mu.Unlock()
 }
 
 func (g *gate) unlockX() {
 	g.mu.Lock()
+	g.endExclusive()
 	g.lstate = lsFree
 	g.cond.Broadcast()
 	g.mu.Unlock()
@@ -115,7 +159,8 @@ func (g *gate) unlockX() {
 // transferToReb converts the caller's exclusive hold into the transferred
 // state: the latch stays exclusive, but the rebalancer may adopt it without
 // waiting. This is what prevents the master from deadlocking against writers
-// that queued rebalance requests behind the one being served.
+// that queued rebalance requests behind the one being served. The version
+// stays odd across the whole hand-off — the latch never becomes free.
 func (g *gate) transferToReb() {
 	g.mu.Lock()
 	g.lstate = lsTransferred
@@ -130,6 +175,11 @@ func (g *gate) rebLock() {
 	for g.lstate != lsFree && g.lstate != lsTransferred {
 		g.cond.Wait()
 	}
+	if g.lstate == lsFree {
+		// Adopted transferred latches are already odd (the transferring
+		// writer bumped at acquisition); only a fresh acquisition does.
+		g.beginExclusive()
+	}
 	g.lstate = lsReb
 	g.rebWanted = false
 	g.mu.Unlock()
@@ -137,6 +187,7 @@ func (g *gate) rebLock() {
 
 func (g *gate) rebUnlock() {
 	g.mu.Lock()
+	g.endExclusive()
 	g.lstate = lsFree
 	g.cond.Broadcast()
 	g.mu.Unlock()
@@ -147,15 +198,36 @@ func (g *gate) rebUnlock() {
 // findSeg locates the segment within the chunk whose range covers k:
 // the rightmost segment whose cached minimum is <= k.
 func (g *gate) findSeg(k int64) int {
+	return findSegIn(g.smin, g.spg, k)
+}
+
+// findSegIn is findSeg over an explicit minima slice, shared with the
+// optimistic readers (getRacy, collectRacy), which operate on locally
+// copied slice headers instead of the gate fields. The caller guarantees
+// len(smin) >= spg.
+func findSegIn(smin []int64, spg int, k int64) int {
 	s := 0
-	for i := 1; i < g.spg; i++ { // spg is small (default 8): linear scan
-		if g.smin[i] <= k {
+	for i := 1; i < spg; i++ { // spg is small (default 8): linear scan
+		if smin[i] <= k {
 			s = i
 		} else {
 			break
 		}
 	}
 	return s
+}
+
+// clampCard bounds a racily-read segment cardinality to [0, b] so the
+// optimistic readers can never index out of a chunk buffer, whatever torn
+// value they loaded.
+func clampCard(c, b int) int {
+	if c < 0 {
+		return 0
+	}
+	if c > b {
+		return b
+	}
+	return c
 }
 
 // get looks k up within the chunk.
@@ -166,6 +238,32 @@ func (g *gate) get(k int64) (int64, bool) {
 	i := sort.Search(len(keys), func(i int) bool { return keys[i] >= k })
 	if i < len(keys) && keys[i] == k {
 		return g.buf.Vals[base+i], true
+	}
+	return 0, false
+}
+
+// getRacy is get for the optimistic read path: it runs without any
+// synchronisation, possibly concurrent with an exclusive holder mutating the
+// chunk, so every load may be torn or stale. The caller (read.go) discards
+// the result unless the gate's version was stable across the call; the job
+// here is merely to never fault on garbage. Slice headers are copied to
+// locals once (a concurrent publish replaces them whole; the referenced
+// arrays stay live through the local copies), lengths are verified against
+// the fixed geometry, and the per-segment cardinality is clamped to [0, b],
+// so all indexing stays in bounds no matter what was read.
+func (g *gate) getRacy(k int64) (int64, bool) {
+	buf, segCard, smin := g.buf, g.segCard, g.smin
+	if buf == nil || len(smin) < g.spg || len(segCard) < g.spg ||
+		len(buf.Keys) < g.spg*g.b || len(buf.Vals) < g.spg*g.b {
+		return 0, false // torn headers; the version check will reject
+	}
+	s := findSegIn(smin, g.spg, k)
+	c := clampCard(segCard[s], g.b)
+	base := s * g.b
+	keys := buf.Keys[base : base+c]
+	i := searchKeys(keys, k)
+	if i < c && keys[i] == k {
+		return buf.Vals[base+i], true
 	}
 	return 0, false
 }
@@ -527,6 +625,35 @@ func (g *gate) scanFrom(from, hi int64, fn func(k, v int64) bool) bool {
 		i = 0
 	}
 	return true
+}
+
+// collectRacy is scanFrom for the optimistic read path: it appends the
+// chunk's pairs with key in [from, hi] to ks/vs without synchronisation,
+// under the same torn-read discipline as getRacy — clamped indexing, at most
+// spg*b appends, result meaningless unless the caller validates the gate
+// version afterwards. Garbage keys can only truncate the copy early or admit
+// out-of-range elements; both are discarded with the failed validation.
+func (g *gate) collectRacy(from, hi int64, ks, vs []int64) ([]int64, []int64) {
+	buf, segCard, smin := g.buf, g.segCard, g.smin
+	if buf == nil || len(smin) < g.spg || len(segCard) < g.spg ||
+		len(buf.Keys) < g.spg*g.b || len(buf.Vals) < g.spg*g.b {
+		return ks, vs
+	}
+	s := findSegIn(smin, g.spg, from)
+	i := searchKeys(buf.Keys[s*g.b:s*g.b+clampCard(segCard[s], g.b)], from)
+	for ; s < g.spg; s++ {
+		base := s * g.b
+		for c := clampCard(segCard[s], g.b); i < c; i++ {
+			k := buf.Keys[base+i]
+			if k > hi {
+				return ks, vs
+			}
+			ks = append(ks, k)
+			vs = append(vs, buf.Vals[base+i])
+		}
+		i = 0
+	}
+	return ks, vs
 }
 
 func log2(v int) int {

@@ -1,6 +1,36 @@
 package core
 
-import "pmago/internal/rma"
+import (
+	"pmago/internal/rma"
+)
+
+// The read path is optimistic (a seqlock over each gate, Section 3.1's
+// latches demoted to a fallback): a reader samples the gate's version
+// counter, performs the unsynchronised chunk read, and accepts the result
+// only if the version is unchanged and was even (stable) throughout — in
+// which case no exclusive holder ran concurrently and the read is equivalent
+// to one under the shared latch. Readers therefore touch no mutex cache line
+// on the fast path and never contend with each other, with writers, or with
+// the rebalancer. After optimisticAttempts failed validations (a
+// writer-heavy gate) the reader falls back to the blocking shared latch, so
+// tail latency stays bounded by the same writer-priority protocol as before.
+
+// optimisticAttempts bounds how often a reader retries the seqlock fast path
+// before taking the shared latch. Attempts are cheap (two atomic loads plus
+// the chunk read), but under a steady writer they can fail indefinitely —
+// the fallback keeps reads latency-bounded rather than live-locked.
+const optimisticAttempts = 3
+
+// readStatus is the outcome of one validated gate read.
+type readStatus int
+
+const (
+	readOK        readStatus = iota // snapshot consistent, result usable
+	readInvalid                     // gate retired by a resize: reload the state
+	readLeft                        // key below fenceLo: walk to the left neighbour
+	readRight                       // key above fenceHi: walk to the right neighbour
+	readContended                   // validation kept failing: take the shared latch
+)
 
 // Get returns the value stored under k. Reads never block behind combining
 // queues: updates still queued are not yet visible (Section 3.5 semantics).
@@ -11,15 +41,38 @@ func (p *PMA) Get(k int64) (int64, bool) {
 	}
 	guard := p.epochs.Enter()
 	defer guard.Leave()
+	optimistic := !p.cfg.DisableOptimisticReads && !raceEnabled
 	for {
 		st := p.state.Load()
 		gi := clampGate(st.index.Lookup(k), len(st.gates))
+	walk:
 		for {
 			g := st.gates[gi]
+			if optimistic {
+				v, ok, res := p.getOptimistic(g, k)
+				switch res {
+				case readOK:
+					return v, ok
+				case readInvalid:
+					break walk
+				case readLeft:
+					if gi > 0 {
+						gi--
+						continue
+					}
+				case readRight:
+					if gi < len(st.gates)-1 {
+						gi++
+						continue
+					}
+				}
+				// readContended (or a fence miss at the array boundary,
+				// which cannot happen with sentinel fences): shared latch.
+			}
 			g.lockShared()
 			if g.invalid {
 				g.unlockShared()
-				break
+				break walk
 			}
 			if k < g.fenceLo && gi > 0 {
 				g.unlockShared()
@@ -39,13 +92,51 @@ func (p *PMA) Get(k int64) (int64, bool) {
 	}
 }
 
+// getOptimistic performs the seqlock read of one gate: version sample,
+// unsynchronised lookup, version validation. Every field read between the
+// two version loads (invalid, fences, chunk contents) belongs to one
+// consistent snapshot iff the versions match and are even; on any mismatch
+// the attempt is discarded and retried, and after optimisticAttempts the
+// caller is told to take the latch. Failed attempts retry immediately
+// rather than yielding: a writer's exclusive section is short, so either a
+// quick re-probe succeeds or the gate is genuinely writer-heavy and parking
+// on the shared latch (which writers wake on release) beats burning cycles.
+func (p *PMA) getOptimistic(g *gate, k int64) (int64, bool, readStatus) {
+	for attempt := 0; attempt < optimisticAttempts; attempt++ {
+		v1 := g.version.Load()
+		if v1&1 != 0 {
+			continue // exclusive holder active; snapshot cannot validate
+		}
+		invalid := g.invalid
+		lo, hi := g.fenceLo, g.fenceHi
+		val, ok := g.getRacy(k)
+		if g.version.Load() != v1 {
+			continue // an exclusive holder intervened; discard everything
+		}
+		switch {
+		case invalid:
+			return 0, false, readInvalid
+		case k < lo:
+			return 0, false, readLeft
+		case k > hi:
+			return 0, false, readRight
+		default:
+			return val, ok, readOK
+		}
+	}
+	return 0, false, readContended
+}
+
 // Scan visits all pairs with lo <= key <= hi in ascending key order,
-// stopping early when fn returns false. The callback runs while the current
-// gate's latch is held in shared mode, so it must not call update operations
-// of the same PMA (reads are fine) and should be short. The scan latches one
-// gate at a time; it observes each chunk atomically and the sequence of
-// chunks at increasing fence boundaries, which is the same guarantee the
-// paper's scans provide.
+// stopping early when fn returns false. Each gate's chunk is copied out
+// under validation (optimistically, or under the shared latch after
+// contention) and fn runs on the copy with no latch held, so — unlike
+// earlier versions of this package — fn may call update operations of the
+// same PMA, including Put, Delete, the batch calls and Flush. The scan
+// observes each chunk atomically and the sequence of chunks at increasing
+// fence boundaries, which is the same guarantee the paper's scans provide;
+// updates applied to a chunk after it was copied are not reflected in the
+// callbacks for that chunk.
 func (p *PMA) Scan(lo, hi int64, fn func(k, v int64) bool) {
 	p.checkOpen()
 	if lo > hi {
@@ -59,31 +150,34 @@ func (p *PMA) Scan(lo, hi int64, fn func(k, v int64) bool) {
 	}
 	guard := p.epochs.Enter()
 	defer guard.Leave()
+	optimistic := !p.cfg.DisableOptimisticReads && !raceEnabled
+	sb := p.getScanBuf()
+	defer p.putScanBuf(sb)
 	from := lo
 	for {
 		st := p.state.Load()
 		gi := clampGate(st.index.Lookup(from), len(st.gates))
+	walk:
 		for {
-			g := st.gates[gi]
-			g.lockShared()
-			if g.invalid {
-				g.unlockShared()
-				break
-			}
-			if from < g.fenceLo && gi > 0 {
-				g.unlockShared()
+			fenceHi, res := p.snapshotGate(st, gi, from, hi, sb, optimistic)
+			switch res {
+			case readInvalid:
+				break walk
+			case readLeft:
 				gi--
 				continue
-			}
-			if from > g.fenceHi && gi < len(st.gates)-1 {
-				g.unlockShared()
+			case readRight:
 				gi++
 				continue
 			}
-			cont := g.scanFrom(from, hi, fn)
-			fenceHi := g.fenceHi
-			g.unlockShared()
-			if !cont || fenceHi >= hi || fenceHi == rma.KeyMax {
+			// The chunk copy in sb is a validated snapshot; run the
+			// callback outside every latch.
+			for i := range sb.ks {
+				if !fn(sb.ks[i], sb.vs[i]) {
+					return
+				}
+			}
+			if fenceHi >= hi || fenceHi == rma.KeyMax {
 				return
 			}
 			from = fenceHi + 1
@@ -95,12 +189,101 @@ func (p *PMA) Scan(lo, hi int64, fn func(k, v int64) bool) {
 	}
 }
 
+// snapshotGate copies gate gi's pairs with key in [from, hi] into sb as one
+// consistent snapshot, optimistically first and under the shared latch after
+// optimisticAttempts failures (or when the optimistic path is disabled). On
+// readOK the returned fenceHi is the gate's upper fence from the same
+// snapshot — the scan's resume point. readLeft/readRight are only returned
+// when the corresponding neighbour exists, mirroring the fence-verification
+// walk of the latched path.
+func (p *PMA) snapshotGate(st *state, gi int, from, hi int64, sb *scanBuf, optimistic bool) (int64, readStatus) {
+	g := st.gates[gi]
+	if optimistic {
+		for attempt := 0; attempt < optimisticAttempts; attempt++ {
+			v1 := g.version.Load()
+			if v1&1 != 0 {
+				continue
+			}
+			sb.reset(g.spg * g.b)
+			invalid := g.invalid
+			lo, fhi := g.fenceLo, g.fenceHi
+			sb.ks, sb.vs = g.collectRacy(from, hi, sb.ks, sb.vs)
+			if g.version.Load() != v1 {
+				continue
+			}
+			switch {
+			case invalid:
+				return 0, readInvalid
+			case from < lo && gi > 0:
+				return 0, readLeft
+			case from > fhi && gi < len(st.gates)-1:
+				return 0, readRight
+			default:
+				return fhi, readOK
+			}
+		}
+	}
+	g.lockShared()
+	if g.invalid {
+		g.unlockShared()
+		return 0, readInvalid
+	}
+	if from < g.fenceLo && gi > 0 {
+		g.unlockShared()
+		return 0, readLeft
+	}
+	if from > g.fenceHi && gi < len(st.gates)-1 {
+		g.unlockShared()
+		return 0, readRight
+	}
+	sb.reset(g.spg * g.b)
+	g.scanFrom(from, hi, func(k, v int64) bool {
+		sb.ks = append(sb.ks, k)
+		sb.vs = append(sb.vs, v)
+		return true
+	})
+	fenceHi := g.fenceHi
+	g.unlockShared()
+	return fenceHi, readOK
+}
+
+// scanBuf is the per-Scan chunk copy, pooled on the PMA (the geometry is
+// fixed, so one chunk's worth of capacity fits every gate for the store's
+// lifetime).
+type scanBuf struct {
+	ks, vs []int64
+}
+
+// reset empties the buffer, pre-growing it to one full chunk so the racy
+// collector never allocates mid-snapshot (appends stay within capacity).
+func (sb *scanBuf) reset(capacity int) {
+	if cap(sb.ks) < capacity {
+		sb.ks = make([]int64, 0, capacity)
+		sb.vs = make([]int64, 0, capacity)
+		return
+	}
+	sb.ks = sb.ks[:0]
+	sb.vs = sb.vs[:0]
+}
+
+func (p *PMA) getScanBuf() *scanBuf {
+	if sb, ok := p.scanBufs.Get().(*scanBuf); ok {
+		return sb
+	}
+	return &scanBuf{}
+}
+
+func (p *PMA) putScanBuf(sb *scanBuf) {
+	p.scanBufs.Put(sb)
+}
+
 // ScanAll visits every stored pair in ascending key order.
 func (p *PMA) ScanAll(fn func(k, v int64) bool) {
 	p.Scan(rma.KeyMin+1, rma.KeyMax-1, fn)
 }
 
-// Keys collects all stored keys in order (test/diagnostic helper).
+// Keys collects all stored keys in order (test/diagnostic helper). Like Len,
+// it needs no latches at all: it rides on Scan's validated chunk copies.
 func (p *PMA) Keys() []int64 {
 	out := make([]int64, 0, p.Len())
 	p.ScanAll(func(k, _ int64) bool { out = append(out, k); return true })

@@ -1,0 +1,34 @@
+package core
+
+import "testing"
+
+// benchGet measures single-threaded random Get over a 1M-element store —
+// the uncontended comparison between the seqlock fast path and the
+// shared-latch baseline (the multi-threaded mixes live in
+// internal/bench/reads.go behind `pmabench -experiment reads`).
+func benchGet(b *testing.B, disable bool) {
+	cfg := DefaultConfig()
+	cfg.DisableOptimisticReads = disable
+	const n = 1 << 20
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i)*2 + 1
+		vals[i] = keys[i]
+	}
+	p, err := BulkLoad(cfg, keys, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer p.Close()
+	b.ResetTimer()
+	rng := int64(1)
+	for i := 0; i < b.N; i++ {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		k := keys[(uint64(rng)>>16)%uint64(n)]
+		p.Get(k)
+	}
+}
+
+func BenchmarkGetOptimistic(b *testing.B) { benchGet(b, false) }
+func BenchmarkGetLatched(b *testing.B)    { benchGet(b, true) }

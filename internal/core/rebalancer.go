@@ -620,7 +620,11 @@ func (r *rebalancer) materialize(st *state, glo, ghi int, ins []op, dels []int64
 // fence keys right-to-left (interior boundaries move to the first key now
 // stored in each gate; the window's outer boundaries are preserved), mirrors
 // the new separators into the static index, and recycles the old buffers —
-// the O(1) "rewiring" step.
+// the O(1) "rewiring" step. Every gate in the window is rebLock'd, so its
+// seqlock version has been odd since before the first buffer or fence move:
+// an optimistic reader that sampled the pre-rebalance version cannot
+// validate across any part of this swap, and one that samples afterwards
+// sees the completed window.
 func (r *rebalancer) publish(st *state, glo, ghi int, plans []destPlan) {
 	now := time.Now().UnixNano()
 	nextLo := int64(rma.KeyMax)
@@ -737,9 +741,21 @@ func (r *rebalancer) resize(st *state, heldLo, heldHi int, ins []op, grow bool) 
 
 	// Invalidate and release the old gates; waiting clients observe the
 	// invalid flag and restart against the new state in a fresh epoch.
+	//
+	// Ordering matters for the optimistic readers: invalid is set before
+	// endExclusive bumps the version to even, and the buffer is recycled
+	// only after the bump. Every gate here has been rebLock'd (version
+	// odd) since before the new state was published, so the only even
+	// version an optimistic reader can ever validate against a retired
+	// gate is this final one — and that snapshot carries invalid=true, so
+	// the read is discarded and the reader restarts on the new state. A
+	// racy read of the buffer after the pool re-issues it to a new gate
+	// therefore can never be returned to a caller (the retired-gate
+	// regression test in stress_test.go pins this down).
 	for _, g := range st.gates {
 		g.mu.Lock()
 		g.invalid = true
+		g.endExclusive()
 		g.lstate = lsFree
 		g.cond.Broadcast()
 		g.mu.Unlock()

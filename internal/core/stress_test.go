@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stressVal is the model every stress writer maintains: the value stored
+// under k is always stressVal(k). A torn optimistic read — a value from a
+// half-completed mutation, a value paired with the wrong key, or data from a
+// retired gate's recycled buffer — is overwhelmingly likely to break the
+// relation, so checking it on every Get/Scan turns the readers into a
+// torn-read detector for the seqlock protocol.
+func stressVal(k int64) int64 { return k*31 + 7 }
+
+// TestOptimisticReadStress hammers the optimistic Get/Scan path against
+// concurrent point updates, batch updates, rebalances and resizes, in every
+// mode, validating all read results against the model — the torn-read
+// detector for the seqlock protocol. The last sub-test runs the same load
+// with DisableOptimisticReads so the shared-latch path keeps equivalent
+// coverage. Under -race every sub-test reads latched (the fast path is
+// compiled out; race_on.go), which is exactly the configuration the
+// detector can verify; normal builds are where the seqlock itself is
+// checked.
+func TestOptimisticReadStress(t *testing.T) {
+	for _, mode := range allModes() {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) { stressReads(t, mode, false) })
+	}
+	t.Run("latched-fallback", func(t *testing.T) { stressReads(t, ModeBatch, true) })
+}
+
+func stressReads(t *testing.T, mode Mode, disableOptimistic bool) {
+	cfg := testConfig(mode)
+	cfg.DisableOptimisticReads = disableOptimistic
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	const domain = 1 << 14
+	keys := make([]int64, 0, domain/2)
+	vals := make([]int64, 0, domain/2)
+	for k := int64(0); k < domain; k += 2 {
+		keys = append(keys, k)
+		vals = append(vals, stressVal(k))
+	}
+	p.PutBatch(keys, vals)
+	p.Flush()
+
+	dur := 600 * time.Millisecond
+	if testing.Short() {
+		dur = 150 * time.Millisecond
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var reads, scans atomic.Int64
+	fail := make(chan string, 8)
+	report := func(format string, args ...any) {
+		select {
+		case fail <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+
+	// Point writers: churn inserts and deletes across the whole domain so
+	// local and global rebalances fire constantly.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := seed
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rng = rng*6364136223846793005 + 1442695040888963407
+				k := (rng >> 16) & (domain - 1)
+				if i%3 == 0 {
+					p.Delete(k)
+				} else {
+					p.Put(k, stressVal(k))
+				}
+			}
+		}(int64(w + 1))
+	}
+
+	// Batch writer: block inserts and deletes big enough to force gate
+	// hand-offs and grow/shrink resizes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		const block = 4096
+		bk := make([]int64, block)
+		bv := make([]int64, block)
+		for round := int64(0); ; round++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			base := (round * 7919) % domain
+			for i := range bk {
+				bk[i] = (base + int64(i)*3) % domain
+				bv[i] = stressVal(bk[i])
+			}
+			if round%2 == 0 {
+				p.PutBatch(bk, bv)
+			} else {
+				p.DeleteBatch(bk[: block/2 : block/2])
+			}
+		}
+	}()
+
+	// Get readers: any found value must satisfy the model.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rng = rng*6364136223846793005 + 1442695040888963407
+				k := (rng >> 16) & (domain - 1)
+				if v, ok := p.Get(k); ok && v != stressVal(k) {
+					report("Get(%d) = %d, want %d (torn read)", k, v, stressVal(k))
+					return
+				}
+				reads.Add(1)
+			}
+		}(int64(100 + r))
+	}
+
+	// Scanner: windows must come back strictly ascending, in range, and
+	// model-consistent.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rng := int64(42)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			rng = rng*6364136223846793005 + 1442695040888963407
+			lo := (rng >> 16) & (domain - 1)
+			hi := lo + 2048
+			prev := int64(-1)
+			ok := true
+			p.Scan(lo, hi, func(k, v int64) bool {
+				switch {
+				case k < lo || k > hi:
+					report("Scan[%d,%d] visited out-of-range key %d", lo, hi, k)
+				case k <= prev:
+					report("Scan[%d,%d] keys not strictly ascending: %d after %d", lo, hi, k, prev)
+				case v != stressVal(k):
+					report("Scan[%d,%d] value %d for key %d, want %d (torn read)", lo, hi, v, k, stressVal(k))
+				default:
+					prev = k
+					return true
+				}
+				ok = false
+				return false
+			})
+			if !ok {
+				return
+			}
+			scans.Add(1)
+		}
+	}()
+
+	time.Sleep(dur)
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatalf("mode %v (optimistic=%v): %s", mode, !disableOptimistic, msg)
+	default:
+	}
+	p.Flush()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("mode %v: %v", mode, err)
+	}
+	if reads.Load() == 0 || scans.Load() == 0 {
+		t.Fatalf("mode %v: readers made no progress (reads=%d scans=%d)", mode, reads.Load(), scans.Load())
+	}
+	t.Logf("mode %v optimistic=%v race=%v: %d gets, %d scans, stats %+v",
+		mode, !disableOptimistic, raceEnabled, reads.Load(), scans.Load(), p.Stats())
+}
+
+// TestReadDuringResizeHandOff pins down the retired-gate hand-off: while a
+// batch writer forces the array through repeated grow and shrink resizes
+// (which invalidate every gate and recycle its buffer into the new state),
+// readers continuously Get and Scan a fixed set of canary keys that are
+// never mutated. If the optimistic path ever validated a read against a
+// retired gate — whose buffer may already hold another gate's data — a
+// canary would come back missing, with a wrong value, or out of order.
+func TestReadDuringResizeHandOff(t *testing.T) {
+	cfg := testConfig(ModeBatch)
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+
+	// Canaries are the odd keys; all transient churn uses even keys.
+	const numCanaries = 64
+	const spread = 10_000
+	canaries := make([]int64, numCanaries)
+	cvals := make([]int64, numCanaries)
+	for i := range canaries {
+		canaries[i] = int64(i)*spread + 1
+		cvals[i] = stressVal(canaries[i])
+	}
+	p.PutBatch(canaries, cvals)
+	p.Flush()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	fail := make(chan string, 4)
+	report := func(format string, args ...any) {
+		select {
+		case fail <- fmt.Sprintf(format, args...):
+		default:
+		}
+	}
+
+	// Get readers over the canaries.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := seed; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := canaries[i%numCanaries]
+				v, ok := p.Get(k)
+				if !ok {
+					report("canary %d disappeared mid-resize", k)
+					return
+				}
+				if v != stressVal(k) {
+					report("canary %d = %d, want %d (retired-gate read?)", k, v, stressVal(k))
+					return
+				}
+			}
+		}(r * 7)
+	}
+
+	// Scanner: every full scan must surface exactly the canaries among the
+	// odd keys, in order.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			seen := 0
+			ok := true
+			p.ScanAll(func(k, v int64) bool {
+				if k&1 == 0 {
+					return true // transient churn
+				}
+				if seen >= numCanaries || k != canaries[seen] {
+					report("scan: unexpected odd key %d at canary position %d", k, seen)
+					ok = false
+					return false
+				}
+				if v != stressVal(k) {
+					report("scan: canary %d = %d, want %d", k, v, stressVal(k))
+					ok = false
+					return false
+				}
+				seen++
+				return true
+			})
+			if !ok {
+				return
+			}
+			if seen != numCanaries {
+				report("scan: saw %d canaries, want %d", seen, numCanaries)
+				return
+			}
+		}
+	}()
+
+	// Resizer: a block big enough to force growth well past the canary
+	// footprint, then deleted again to trigger the shrink path.
+	const block = 6_000
+	bk := make([]int64, block)
+	bv := make([]int64, block)
+	wantResizes := int64(6)
+	if testing.Short() {
+		wantResizes = 2
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for round := int64(0); p.Stats().Resizes < wantResizes && time.Now().Before(deadline); round++ {
+		for i := range bk {
+			bk[i] = ((round*31 + int64(i)*2) % (numCanaries * spread)) &^ 1
+			bv[i] = stressVal(bk[i])
+		}
+		p.PutBatch(bk, bv)
+		p.DeleteBatch(bk)
+		// Round-trip the master so the asynchronous shrink request runs
+		// before the next growth round (on a single-CPU box the busy
+		// client loop can otherwise starve the master goroutine).
+		p.Flush()
+		select {
+		case msg := <-fail:
+			t.Fatal(msg)
+		default:
+		}
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case msg := <-fail:
+		t.Fatal(msg)
+	default:
+	}
+	if got := p.Stats().Resizes; got < wantResizes {
+		t.Fatalf("churn produced only %d resizes, want >= %d — test did not exercise the hand-off", got, wantResizes)
+	}
+	p.Flush()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSeqlockVersionParity is the white-box protocol check: the version must
+// be odd exactly while the latch is held exclusively, across every
+// acquisition path including the writer→transferred→rebalancer hand-off
+// (which must not double-bump).
+func TestSeqlockVersionParity(t *testing.T) {
+	p := newTest(t, ModeSync)
+	g := p.state.Load().gates[0]
+
+	check := func(stage string, wantOdd bool) {
+		t.Helper()
+		if odd := g.version.Load()&1 == 1; odd != wantOdd {
+			t.Fatalf("%s: version %d odd=%v, want odd=%v", stage, g.version.Load(), odd, wantOdd)
+		}
+	}
+	check("initial", false)
+
+	g.lockX()
+	check("after lockX", true)
+	g.unlockX()
+	check("after unlockX", false)
+
+	g.rebLock()
+	check("after rebLock from free", true)
+	g.rebUnlock()
+	check("after rebUnlock", false)
+
+	g.lockX()
+	g.transferToReb()
+	check("after transferToReb", true)
+	g.rebLock() // adopts the transferred latch; must not bump again
+	check("after rebLock adoption", true)
+	g.rebUnlock()
+	check("after hand-off rebUnlock", false)
+
+	g.lockShared()
+	check("under shared latch", false)
+	g.unlockShared()
+}

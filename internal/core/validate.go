@@ -22,6 +22,13 @@ func (p *PMA) Validate() error {
 			if g.invalid {
 				return fmt.Errorf("gate %d invalid in current state", gi)
 			}
+			// Holding the latch shared excludes every exclusive holder,
+			// so the seqlock version must be even: an odd version here
+			// means some mutation path forgot its endExclusive bump and
+			// optimistic readers would validate mid-update snapshots.
+			if v := g.version.Load(); v&1 != 0 {
+				return fmt.Errorf("gate %d seqlock version %d odd under shared latch", gi, v)
+			}
 			if g.idx != gi {
 				return fmt.Errorf("gate %d has idx %d", gi, g.idx)
 			}

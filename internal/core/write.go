@@ -55,6 +55,7 @@ func (p *PMA) lockForWrite(g *gate, o op) lockResult {
 		if g.lstate == lsFree && !g.rebWanted {
 			g.wWaiting--
 			g.lstate = lsWriter
+			g.beginExclusive() // optimistic readers stand down until release
 			g.mu.Unlock()
 			return lockAcquired
 		}
@@ -66,6 +67,7 @@ func (p *PMA) lockForWrite(g *gate, o op) lockResult {
 // have emptied and detached the queue first (drainQueue does).
 func (g *gate) releaseWriter() {
 	g.mu.Lock()
+	g.endExclusive() // all mutations precede this; publish to optimistic readers
 	g.lstate = lsFree
 	g.cond.Broadcast()
 	g.mu.Unlock()

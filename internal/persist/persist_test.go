@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -269,12 +270,13 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		keys[i] = k
 		vals[i] = int64(i) - 1000
 	}
-	count, size, err := WriteSnapshot(dir, 7, func(yield func(k, v int64) bool) {
+	count, size, err := WriteSnapshot(dir, 7, func(yield func(k, v int64) bool) error {
 		for i := range keys {
 			if !yield(keys[i], vals[i]) {
-				return
+				break
 			}
 		}
+		return nil
 	}, testOptions())
 	if err != nil {
 		t.Fatal(err)
@@ -299,7 +301,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 
 func TestSnapshotEmpty(t *testing.T) {
 	dir := t.TempDir()
-	if _, _, err := WriteSnapshot(dir, 3, func(func(k, v int64) bool) {}, testOptions()); err != nil {
+	if _, _, err := WriteSnapshot(dir, 3, func(func(k, v int64) bool) error { return nil }, testOptions()); err != nil {
 		t.Fatal(err)
 	}
 	gk, gv, seq, err := LoadSnapshot(filepath.Join(dir, snapName(3)))
@@ -310,12 +312,13 @@ func TestSnapshotEmpty(t *testing.T) {
 
 func TestSnapshotCorruptionRejected(t *testing.T) {
 	dir := t.TempDir()
-	if _, _, err := WriteSnapshot(dir, 2, func(yield func(k, v int64) bool) {
+	if _, _, err := WriteSnapshot(dir, 2, func(yield func(k, v int64) bool) error {
 		for i := int64(0); i < 1000; i++ {
 			if !yield(i, i) {
-				return
+				break
 			}
 		}
+		return nil
 	}, testOptions()); err != nil {
 		t.Fatal(err)
 	}
@@ -336,8 +339,9 @@ func TestSnapshotCorruptionRejected(t *testing.T) {
 func TestRecoverPicksNewestValidSnapshot(t *testing.T) {
 	dir := t.TempDir()
 	write := func(seq uint64, v int64) {
-		if _, _, err := WriteSnapshot(dir, seq, func(yield func(k, v int64) bool) {
+		if _, _, err := WriteSnapshot(dir, seq, func(yield func(k, v int64) bool) error {
 			yield(1, v)
+			return nil
 		}, testOptions()); err != nil {
 			t.Fatal(err)
 		}
@@ -387,12 +391,13 @@ func TestRecoverPicksNewestValidSnapshot(t *testing.T) {
 func TestRecoverRefusesWhenOnlySnapshotInvalid(t *testing.T) {
 	dir := t.TempDir()
 	// A checkpointed store: snapshot at cut 2, WAL prefix truncated.
-	if _, _, err := WriteSnapshot(dir, 2, func(yield func(k, v int64) bool) {
+	if _, _, err := WriteSnapshot(dir, 2, func(yield func(k, v int64) bool) error {
 		for i := int64(0); i < 100; i++ {
 			if !yield(i, i) {
-				return
+				break
 			}
 		}
+		return nil
 	}, testOptions()); err != nil {
 		t.Fatal(err)
 	}
@@ -430,8 +435,9 @@ func TestRecoverRefusesWhenOnlySnapshotInvalid(t *testing.T) {
 func TestRecoverRefusesFallbackPastTruncatedSegments(t *testing.T) {
 	dir := t.TempDir()
 	write := func(seq uint64, v int64) {
-		if _, _, err := WriteSnapshot(dir, seq, func(yield func(k, v int64) bool) {
+		if _, _, err := WriteSnapshot(dir, seq, func(yield func(k, v int64) bool) error {
 			yield(1, v)
+			return nil
 		}, testOptions()); err != nil {
 			t.Fatal(err)
 		}
@@ -518,5 +524,27 @@ func TestRecoverFreshDir(t *testing.T) {
 	}
 	if loaded != 0 || rec.NextSeq != 1 {
 		t.Fatalf("fresh dir: loaded=%d nextSeq=%d", loaded, rec.NextSeq)
+	}
+}
+
+// TestWriteSnapshotIteratorErrorAborts pins the pre-publish gate: when the
+// iterator returns an error (durable.go returns the WAL Sync result there,
+// so an unsyncable log must not be superseded), no snapshot may be
+// published and no temp file may linger.
+func TestWriteSnapshotIteratorErrorAborts(t *testing.T) {
+	dir := t.TempDir()
+	wantErr := errors.New("sync failed")
+	if _, _, err := WriteSnapshot(dir, 4, func(yield func(k, v int64) bool) error {
+		yield(1, 1)
+		return wantErr
+	}, testOptions()); err != wantErr {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		t.Fatalf("aborted snapshot left %q behind", e.Name())
 	}
 }

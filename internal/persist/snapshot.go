@@ -69,9 +69,12 @@ func listSnapshots(dir string) ([]uint64, error) {
 
 // WriteSnapshot streams the pairs produced by iter (which must yield
 // strictly increasing keys — a PMA scan does) into a durable snapshot file
-// covering WAL segments below walSeq. It reports the pair count and the
-// file size, the latter feeding the compaction trigger.
-func WriteSnapshot(dir string, walSeq uint64, iter func(yield func(k, v int64) bool), o Options) (count, size int64, err error) {
+// covering WAL segments below walSeq. A non-nil error from iter — raised
+// after the scan, e.g. when the caller fails to sync the WAL records the
+// scan may have observed — aborts the snapshot before it is published.
+// It reports the pair count and the file size, the latter feeding the
+// compaction trigger.
+func WriteSnapshot(dir string, walSeq uint64, iter func(yield func(k, v int64) bool) error, o Options) (count, size int64, err error) {
 	o = o.normalize()
 	tmp := filepath.Join(dir, snapName(walSeq)+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
@@ -108,7 +111,7 @@ func WriteSnapshot(dir string, walSeq uint64, iter func(yield func(k, v int64) b
 		_, werr := bw.Write(scratch)
 		return werr
 	}
-	iter(func(k, v int64) bool {
+	cbErr := iter(func(k, v int64) bool {
 		if count > 0 && k <= prev {
 			iterErr = fmt.Errorf("persist: snapshot iterator not strictly increasing at key %d", k)
 			return false
@@ -126,6 +129,12 @@ func WriteSnapshot(dir string, walSeq uint64, iter func(yield func(k, v int64) b
 		return true
 	})
 	if err = iterErr; err != nil {
+		return 0, 0, err
+	}
+	// An iterator failure (e.g. the caller could not make the scanned
+	// state durable) aborts before the trailer and rename: the temp file
+	// is removed and no checkpoint is published.
+	if err = cbErr; err != nil {
 		return 0, 0, err
 	}
 	if err = flush(); err != nil {

@@ -178,8 +178,13 @@ func (p *PMA) PutBatch(keys, vals []int64) { p.c.PutBatch(keys, vals) }
 func (p *PMA) DeleteBatch(keys []int64) int { return p.c.DeleteBatch(keys) }
 
 // Scan visits all pairs with lo <= key <= hi in ascending key order until
-// fn returns false. fn runs under a shared gate latch: it must not update
-// the same PMA and should return quickly.
+// fn returns false. Each chunk is copied out under validation (optimistic
+// version check, or the shared latch under sustained writer pressure) and fn
+// runs on the copy with no latch held, so fn may call update operations of
+// the same PMA — Put, Delete, the batch calls, Flush — and may be
+// arbitrarily slow without blocking writers. The scan observes each chunk
+// atomically and the chunks in ascending fence order; updates applied to a
+// chunk after it was copied are not reflected in that chunk's callbacks.
 func (p *PMA) Scan(lo, hi int64, fn func(k, v int64) bool) { p.c.Scan(lo, hi, fn) }
 
 // ScanAll visits every pair in ascending key order.
