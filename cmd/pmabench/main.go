@@ -9,6 +9,7 @@
 //	pmabench -experiment reads               # optimistic (seqlock) vs latched reads
 //	pmabench -experiment batch               # batch subsystem: PutBatch/BulkLoad vs point loops
 //	pmabench -experiment durability          # WAL fsync policies + recovery time
+//	pmabench -experiment shards              # sharded store: shard count scaling
 //	pmabench -experiment all                 # everything, in order
 //
 // -experiment also accepts a comma-separated list (e.g. "reads,batch").
@@ -35,7 +36,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | reads | batch | durability | graph | all, or a comma-separated list")
+		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | reads | batch | durability | graph | shards | all, or a comma-separated list")
 		plot       = flag.String("plot", "", "figure3: a-f (empty = all); figure4: a-c (empty = all)")
 		inserts    = flag.Int("inserts", bench.DefaultScale().InsertN, "elements inserted in insert-only experiments")
 		loadN      = flag.Int("load", bench.DefaultScale().LoadN, "preloaded base size for the mixed experiments")
@@ -44,6 +45,7 @@ func main() {
 		seed       = flag.Int64("seed", 1, "base RNG seed")
 		jsonPath   = flag.String("json", "", "also write all measurements to this file as a JSON report")
 		readSecs   = flag.Float64("read-seconds", 1.0, "measured seconds per cell of the reads experiment")
+		maxShards  = flag.Int("shards", 8, "largest shard count in the shards experiment (runs powers of two up to it)")
 	)
 	flag.Parse()
 
@@ -61,7 +63,7 @@ func main() {
 	// exactly one handler (no drift between the single and the all run).
 	known := []string{
 		"figure3", "figure4", "ablation-segment", "ablation-leaf",
-		"reads", "batch", "durability", "graph",
+		"reads", "batch", "durability", "graph", "shards",
 	}
 	var experiments []string
 	for _, exp := range strings.Split(*experiment, ",") {
@@ -109,6 +111,8 @@ func main() {
 			printDurability(sc, report)
 		case "graph":
 			printGraph(sc, report)
+		case "shards":
+			printShards(sc, *maxShards, report)
 		}
 	}
 
@@ -189,6 +193,29 @@ func printDurability(sc bench.Scale, report *bench.Report) {
 			r.N, byteSize(r.SnapshotBytes), r.TailN, r.OpenTime.Round(time.Millisecond))
 		report.Add("durability", "recovery",
 			map[string]string{"pairs": fmt.Sprintf("%d", r.N)}, "seconds", r.OpenTime.Seconds())
+	}
+	fmt.Println()
+}
+
+func printShards(sc bench.Scale, maxShards int, report *bench.Report) {
+	fmt.Println("== Sharding: multi-PMA store, write scaling by shard count ==")
+	var counts []int
+	for c := 1; c <= maxShards; c *= 2 {
+		counts = append(counts, c)
+	}
+	rs := bench.RunShards(sc.MixedN, sc.Threads, counts, sc.Seed)
+	base := rs[0]
+	for _, r := range rs {
+		fmt.Printf("shards %2d, %2d threads: put %6.2f M/s (%.2fx), batch %6.2f M/s, merged scan %7.2f M pairs/s\n",
+			r.Shards, r.Threads, r.PutsPerSec/1e6, r.PutsPerSec/base.PutsPerSec,
+			r.BatchPerSec/1e6, r.ScanPerSec/1e6)
+		labels := map[string]string{
+			"shards":  fmt.Sprintf("%d", r.Shards),
+			"threads": fmt.Sprintf("%d", r.Threads),
+		}
+		report.Add("shards", "put", labels, "ops/s", r.PutsPerSec)
+		report.Add("shards", "put_batch", labels, "ops/s", r.BatchPerSec)
+		report.Add("shards", "scan_merge", labels, "pairs/s", r.ScanPerSec)
 	}
 	fmt.Println()
 }

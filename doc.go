@@ -61,6 +61,45 @@
 // store re-snapshots itself when the log grows past WithCompactRatio times
 // the last snapshot, keeping restart time bounded.
 //
+// # Sharding
+//
+// Sharded routes one key space across N independent PMA shards, created
+// in-memory with NewSharded/BulkLoadSharded or durably with OpenSharded.
+// Every structure that serializes writers — combining queues, the
+// rebalancer master, WAL group commit — exists once per shard, so write
+// throughput scales with shard count on multi-core machines.
+//
+// Keys are placed by one of two schemes, fixed at creation:
+//
+//   - Weighted (default; WithShards or WithShardWeights): straw2-style
+//     placement — each key draws a weighted pseudo-random straw per shard
+//     and lands on the argmax. Spread follows the weights for any key
+//     distribution, and growing the topology only moves keys onto the new
+//     shard. Scans k-way merge the per-shard streams.
+//   - Range (WithRangeSplits): shard i owns one contiguous key range.
+//     Shard order is key order, so scans walk shards sequentially with no
+//     merge; the caller owns balance.
+//
+// A durable sharded store keeps each shard's WAL and snapshots in its own
+// subdirectory under one parent, with a parent-level flock and a manifest
+// (MANIFEST.json) recording the topology. The manifest is authoritative on
+// reopen: OpenSharded with no sharding options adopts it, options that
+// contradict it are an error (routing with a different placement would make
+// existing keys unreachable), and a missing manifest over existing shard
+// directories — or a manifest whose shard directory is missing — refuses to
+// open. Per-shard recovery runs in parallel.
+//
+// Operation semantics match PMA/DB on the shard that owns the key; what
+// sharding changes is atomicity ACROSS shards. A cross-shard
+// PutBatch/DeleteBatch is split per shard and applied as one batch per
+// shard concurrently: a concurrent scan can observe one shard's portion
+// without another's, and after a crash each shard independently recovers
+// its own acknowledged-durable prefix (under FsyncAlways every acknowledged
+// cross-shard batch is durable on all shards; prefix consistency holds per
+// shard, not globally). Scan returns one globally ascending stream and
+// keeps the latch-free callback contract — the callback may update the same
+// store — with chunk atomicity per shard and no cross-shard snapshot.
+//
 // # Quick start
 //
 //	p, err := pmago.New()

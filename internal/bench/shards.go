@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"pmago"
+)
+
+// Sharding experiment: how does write throughput scale with the shard count,
+// and what does the k-way merge cost scans? Each cell runs the same workload
+// against a pmago.Sharded with a different shard count (1 = the unsharded
+// baseline, modulo the thin routing layer). Shards multiply the combining
+// queues and rebalancer masters that serialize writers, so puts and batches
+// should scale with shard count up to GOMAXPROCS; on a single-core box the
+// cells mostly measure routing and merge overhead.
+
+// ShardsResult is one shard-count cell.
+type ShardsResult struct {
+	Shards      int
+	Threads     int
+	N           int
+	PutsPerSec  float64 // concurrent point Puts
+	BatchPerSec float64 // chunked cross-shard PutBatch, single caller
+	ScanPerSec  float64 // pairs/s through one merged ScanAll
+}
+
+// RunShards measures each shard count: n point Puts over `threads` writers,
+// then n more pairs via chunked PutBatch (the cross-shard split path), then
+// one full merged scan.
+func RunShards(n, threads int, shardCounts []int, seed int64) []ShardsResult {
+	if threads < 1 {
+		threads = 1
+	}
+	var results []ShardsResult
+	for _, c := range shardCounts {
+		s, err := pmago.NewSharded(pmago.WithShards(c))
+		if err != nil {
+			panic(err)
+		}
+		res := ShardsResult{Shards: c, Threads: threads, N: n}
+
+		keys, vals := freshKeys(n, seed)
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < threads; w++ {
+			lo, hi := n*w/threads, n*(w+1)/threads
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					s.Put(keys[i], vals[i])
+				}
+			}()
+		}
+		wg.Wait()
+		s.Flush()
+		res.PutsPerSec = float64(n) / time.Since(start).Seconds()
+
+		bkeys, bvals := freshKeys(n, seed+1)
+		const chunk = 1 << 14
+		start = time.Now()
+		for off := 0; off < n; off += chunk {
+			end := min(off+chunk, n)
+			s.PutBatch(bkeys[off:end], bvals[off:end])
+		}
+		s.Flush()
+		res.BatchPerSec = float64(n) / time.Since(start).Seconds()
+
+		start = time.Now()
+		pairs := 0
+		s.ScanAll(func(k, v int64) bool {
+			pairs++
+			return true
+		})
+		res.ScanPerSec = float64(pairs) / time.Since(start).Seconds()
+		if pairs != s.Len() {
+			panic(fmt.Sprintf("bench: merged scan saw %d pairs, store holds %d", pairs, s.Len()))
+		}
+
+		if err := s.Close(); err != nil {
+			panic(err)
+		}
+		results = append(results, res)
+	}
+	return results
+}

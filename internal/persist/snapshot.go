@@ -258,7 +258,13 @@ func decodeSnapBlock(p []byte, keys, vals []int64) ([]int64, []int64, error) {
 			return nil, nil, fmt.Errorf("bad key delta")
 		}
 		p = p[dn:]
-		k += int64(d)
+		// Keys are strictly increasing, so a delta that wraps past
+		// MaxInt64 (or reads back as <= 0) is corruption, not a gap.
+		nk := k + int64(d)
+		if nk <= k {
+			return nil, nil, fmt.Errorf("key delta overflow")
+		}
+		k = nk
 		keys = append(keys, k)
 	}
 	for i := 0; i < n; i++ {

@@ -427,18 +427,3 @@ func Replay(dir string, fromSeq uint64, fn func(*Record) error) (lastSeq uint64,
 	}
 	return lastSeq, nil
 }
-
-// hasValidRecordAfter reports whether a checksum-valid record starts at any
-// offset past a decode failure — the discriminator between a torn final
-// append (nothing follows) and mid-segment corruption (the rest of the
-// segment is still there). Only runs on the corruption path; a chance CRC
-// match in torn garbage is a ~2^-32 event.
-func hasValidRecordAfter(data []byte, off int) bool {
-	var rec Record
-	for i := off + 1; i+frameHeader <= len(data); i++ {
-		if _, ok := decodeRecord(data[i:], &rec); ok {
-			return true
-		}
-	}
-	return false
-}

@@ -1,0 +1,143 @@
+package placement
+
+import (
+	"math"
+	"testing"
+)
+
+func TestStraw2Validation(t *testing.T) {
+	for _, bad := range [][]float64{nil, {}, {0}, {1, -1}, {1, math.NaN()}, {math.Inf(1)}} {
+		if _, err := NewStraw2(bad); err == nil {
+			t.Fatalf("NewStraw2(%v) accepted invalid weights", bad)
+		}
+	}
+	if _, err := NewStraw2([]float64{1, 2, 0.5}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStraw2DistributionFollowsWeights(t *testing.T) {
+	weights := []float64{1, 1, 2, 4}
+	p, err := NewStraw2(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200_000
+	counts := make([]int, p.Shards())
+	for k := int64(0); k < n; k++ {
+		counts[p.Shard(k*2654435761)]++ // scattered keys
+	}
+	var total float64
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		want := float64(n) * w / total
+		got := float64(counts[i])
+		if math.Abs(got-want)/want > 0.05 {
+			t.Fatalf("shard %d (weight %v) received %v keys, want ~%v (counts %v)", i, w, got, want, counts)
+		}
+	}
+}
+
+// TestStraw2Deterministic pins a handful of placements: the manifest records
+// only the weights, so the mapping itself must never drift between versions
+// or the store would silently re-home keys on reopen.
+func TestStraw2Deterministic(t *testing.T) {
+	p, err := NewStraw2([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(-1 << 40); k < -1<<40+1000; k++ {
+		if a, b := p.Shard(k), p.Shard(k); a != b {
+			t.Fatalf("placement of %d not deterministic: %d vs %d", k, a, b)
+		}
+	}
+}
+
+// TestStraw2StableUnderGrowth is the straw2 selling point: adding a shard
+// moves keys only onto the new shard, never between the old ones.
+func TestStraw2StableUnderGrowth(t *testing.T) {
+	old, err := NewStraw2([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := NewStraw2([]float64{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 100_000
+	moved := 0
+	for k := int64(0); k < n; k++ {
+		key := k*7919 - n/2
+		a, b := old.Shard(key), grown.Shard(key)
+		if a != b {
+			if b != 3 {
+				t.Fatalf("key %d moved between old shards %d -> %d when shard 3 was added", key, a, b)
+			}
+			moved++
+		}
+	}
+	// Expect ~1/4 of keys to move to the new equal-weight shard.
+	if f := float64(moved) / n; f < 0.20 || f > 0.30 {
+		t.Fatalf("adding a 4th equal shard moved %.1f%% of keys, want ~25%%", f*100)
+	}
+}
+
+func TestRangeValidationAndLookup(t *testing.T) {
+	if _, err := NewRange([]int64{10, 10}); err == nil {
+		t.Fatal("NewRange accepted non-increasing splits")
+	}
+	if _, err := NewRange([]int64{10, 5}); err == nil {
+		t.Fatal("NewRange accepted decreasing splits")
+	}
+	r, err := NewRange([]int64{-100, 0, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", r.Shards())
+	}
+	cases := map[int64]int{
+		math.MinInt64: 0, -101: 0,
+		-100: 1, -1: 1,
+		0: 2, 99: 2,
+		100: 3, math.MaxInt64: 3,
+	}
+	for k, want := range cases {
+		if got := r.Shard(k); got != want {
+			t.Fatalf("Shard(%d) = %d, want %d", k, got, want)
+		}
+	}
+	single, err := NewRange(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if single.Shards() != 1 || single.Shard(42) != 0 {
+		t.Fatal("empty split list must be a single all-owning shard")
+	}
+}
+
+// TestRangeShardOrderIsKeyOrder pins the property the sharded scan relies on
+// to skip the k-way merge: lower shard index means strictly lower keys.
+func TestRangeShardOrderIsKeyOrder(t *testing.T) {
+	r, err := NewRange([]int64{0, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := -1
+	for k := int64(-2000); k < 3000; k += 17 {
+		s := r.Shard(k)
+		if s < prev {
+			t.Fatalf("shard index decreased with ascending keys at key %d", k)
+		}
+		prev = s
+	}
+}
+
+func BenchmarkStraw2Shard8(b *testing.B) {
+	p, _ := NewStraw2([]float64{1, 1, 1, 1, 1, 1, 1, 1})
+	for i := 0; i < b.N; i++ {
+		p.Shard(int64(i))
+	}
+}

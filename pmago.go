@@ -51,10 +51,13 @@ const (
 )
 
 // config bundles the in-memory PMA configuration with the durability
-// options consumed only by Open (New and BulkLoad ignore the latter).
+// options consumed only by Open (New and BulkLoad ignore the latter) and the
+// sharding options consumed only by the Sharded constructors (see
+// sharded.go; everything else ignores them).
 type config struct {
-	core core.Config
-	dur  persist.Options
+	core  core.Config
+	dur   persist.Options
+	shard shardConfig
 }
 
 func defaultConfig() config {

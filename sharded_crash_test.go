@@ -1,0 +1,230 @@
+package pmago
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// shardedCrashOp is one acknowledged update plus, per shard, the durable WAL
+// size right after it returned. Shards log independently, so the crash
+// property is per shard: cutting shard j's WAL at endOff[j] of op i must
+// recover exactly ops 0..i restricted to shard j's keys.
+type shardedCrashOp struct {
+	apply  func(m map[int64]int64)
+	endOff []int64
+}
+
+// TestShardedCrashRecoveryProperty extends the PR 2 crash property test
+// across shards: a workload of acknowledged FsyncAlways updates (point ops
+// and cross-shard batches) is recorded with each op's per-shard WAL end
+// offsets; then, per trial, the WAL tail of a RANDOM SUBSET of shard
+// directories is truncated at a random byte offset — a crash that hit the
+// shards mid group-commit at different points — some additionally smeared
+// with garbage (a torn final append). The reopened store must equal the
+// union of each shard's acknowledged-durable prefix: shard j's keys reflect
+// exactly the ops whose shard-j records fit under shard j's cut, and the
+// untouched shards lose nothing.
+func TestShardedCrashRecoveryProperty(t *testing.T) {
+	const shards = 3
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, WithShards(shards), WithFsync(FsyncAlways), WithCompactRatio(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	walOffsets := func() []int64 {
+		offs := make([]int64, shards)
+		for j, db := range s.dbs {
+			offs[j] = db.WALBytes()
+		}
+		return offs
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	var ops []shardedCrashOp
+	nops := 300
+	if testing.Short() {
+		nops = 120
+	}
+	for i := 0; i < nops; i++ {
+		var apply func(m map[int64]int64)
+		switch rng.Intn(4) {
+		case 0:
+			k, v := rng.Int63n(400), rng.Int63()
+			s.Put(k, v)
+			apply = func(m map[int64]int64) { m[k] = v }
+		case 1:
+			k := rng.Int63n(400)
+			s.Delete(k)
+			apply = func(m map[int64]int64) { delete(m, k) }
+		case 2:
+			n := 1 + rng.Intn(16) // big enough to span shards
+			keys := make([]int64, n)
+			vals := make([]int64, n)
+			for j := range keys {
+				keys[j] = rng.Int63n(400)
+				vals[j] = rng.Int63()
+			}
+			s.PutBatch(keys, vals)
+			apply = func(m map[int64]int64) {
+				for j := range keys {
+					m[keys[j]] = vals[j]
+				}
+			}
+		default:
+			n := 1 + rng.Intn(16)
+			keys := make([]int64, n)
+			for j := range keys {
+				keys[j] = rng.Int63n(400)
+			}
+			s.DeleteBatch(keys)
+			apply = func(m map[int64]int64) {
+				for _, k := range keys {
+					delete(m, k)
+				}
+			}
+		}
+		ops = append(ops, shardedCrashOp{apply: apply, endOff: walOffsets()})
+	}
+	// The placement that routed the workload, for projecting the model onto
+	// shards below.
+	place := s.place
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Capture the on-disk store once; every trial reconstructs it with some
+	// shard WALs cut.
+	walName := fmt.Sprintf("wal-%020d.log", 1)
+	manifest, err := os.ReadFile(filepath.Join(dir, "MANIFEST.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wals := make([][]byte, shards)
+	for j := range wals {
+		if wals[j], err = os.ReadFile(filepath.Join(dir, shardDirName(j), walName)); err != nil {
+			t.Fatal(err)
+		}
+		if int64(len(wals[j])) != ops[len(ops)-1].endOff[j] {
+			t.Fatalf("shard %d wal is %d bytes, last op ended at %d", j, len(wals[j]), ops[len(ops)-1].endOff[j])
+		}
+	}
+
+	trials := 30
+	if testing.Short() {
+		trials = 10
+	}
+	for trial := 0; trial < trials; trial++ {
+		// Random subset of shards crashes mid-append; the rest keep their
+		// full logs. Cut 0 (everything lost) and full length (nothing lost)
+		// arise naturally from the random offsets.
+		cuts := make([]int64, shards)
+		torn := make([]bool, shards)
+		for j := range cuts {
+			cuts[j] = int64(len(wals[j]))
+			if rng.Intn(2) == 0 {
+				cuts[j] = rng.Int63n(int64(len(wals[j])) + 1)
+				torn[j] = rng.Intn(2) == 0
+			}
+		}
+
+		// The expected store: per shard, the model of exactly the ops whose
+		// shard-local records fit under that shard's cut, projected onto the
+		// keys the placement routes there. A record straddling the cut is
+		// torn, taking that shard's suffix with it.
+		want := map[int64]int64{}
+		for j := 0; j < shards; j++ {
+			m := map[int64]int64{}
+			for _, op := range ops {
+				if op.endOff[j] > cuts[j] {
+					break
+				}
+				op.apply(m)
+			}
+			for k, v := range m {
+				if place.Shard(k) == j {
+					want[k] = v
+				}
+			}
+		}
+
+		trialDir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(trialDir, "MANIFEST.json"), manifest, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < shards; j++ {
+			sd := filepath.Join(trialDir, shardDirName(j))
+			if err := os.MkdirAll(sd, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			wal := wals[j][:cuts[j]]
+			if torn[j] {
+				// A torn final append: the header of a record whose payload
+				// never made it, plus garbage. Recovery must truncate it.
+				garbage := make([]byte, 32+rng.Intn(200))
+				rng.Read(garbage)
+				wal = append(append([]byte{}, wal...), garbage...)
+			}
+			if err := os.WriteFile(filepath.Join(sd, walName), wal, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		re, err := OpenSharded(trialDir)
+		if err != nil {
+			t.Fatalf("trial %d (cuts %v torn %v): reopen: %v", trial, cuts, torn, err)
+		}
+		re.Flush()
+		got := scanToMap(t, re)
+		if verr := re.Validate(); verr != nil {
+			t.Fatalf("trial %d (cuts %v): %v", trial, cuts, verr)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (cuts %v torn %v): recovered %d keys, want %d",
+				trial, cuts, torn, len(got), len(want))
+		}
+	}
+}
+
+// TestShardedCrashManifestMismatch: after a crash (simulated by not closing
+// cleanly — the flock dies with the process), reopening with a topology that
+// contradicts the manifest must still be refused; crash recovery never
+// rewrites the topology.
+func TestShardedCrashManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSharded(dir, WithShards(2), WithFsync(FsyncAlways))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 50; k++ {
+		s.Put(k, k)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the crash aftermath: truncate one shard's WAL tail.
+	walName := fmt.Sprintf("wal-%020d.log", 1)
+	path := filepath.Join(dir, shardDirName(0), walName)
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSharded(dir, WithShards(4)); err == nil {
+		t.Fatal("crash-recovery reopen accepted a conflicting topology")
+	}
+	re, err := OpenSharded(dir) // adopting the manifest still works
+	if err != nil {
+		t.Fatal(err)
+	}
+	re.Close()
+}
