@@ -14,6 +14,11 @@
 //
 // -experiment also accepts a comma-separated list (e.g. "reads,batch").
 //
+// -stats additionally reports each store's metrics snapshot (the pmago.Stats
+// counters: seqlock read outcomes, combining, rebalances, per-shard routing)
+// and records it as stats_* rows in the -json report; -pprof ADDR serves
+// net/http/pprof for profiling a run.
+//
 // The defaults are laptop-scale; -inserts/-load/-ops/-threads restore any
 // scale (the paper used 1G elements and 16 hardware threads). With -json
 // FILE every experiment in the run additionally records its measurements
@@ -25,6 +30,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"runtime"
 	"slices"
@@ -32,6 +39,7 @@ import (
 	"time"
 
 	"pmago/internal/bench"
+	"pmago/internal/obs"
 )
 
 func main() {
@@ -46,8 +54,18 @@ func main() {
 		jsonPath   = flag.String("json", "", "also write all measurements to this file as a JSON report")
 		readSecs   = flag.Float64("read-seconds", 1.0, "measured seconds per cell of the reads experiment")
 		maxShards  = flag.Int("shards", 8, "largest shard count in the shards experiment (runs powers of two up to it)")
+		stats      = flag.Bool("stats", false, "print the stores' metrics snapshots and record stats_* rows in the JSON report")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for profiling a run")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux: the blank pprof import registered /debug/pprof.
+			fmt.Fprintf(os.Stderr, "pprof server: %v\n", http.ListenAndServe(*pprofAddr, nil))
+		}()
+		fmt.Printf("pprof endpoint: http://%s/debug/pprof/\n\n", *pprofAddr)
+	}
 
 	sc := bench.Scale{InsertN: *inserts, LoadN: *loadN, MixedN: *mixedN, Threads: *threads, Seed: *seed}
 	fmt.Printf("pmabench: scale inserts=%d load=%d mixed-ops=%d threads=%d (GOMAXPROCS=%d)\n\n",
@@ -104,7 +122,7 @@ func main() {
 			bench.PrintResults(os.Stdout, "Section 4.1 ablation: ART/B+-tree leaf 4KiB vs 8KiB (8 upd + 8 scan threads)", rs, true)
 			report.AddResults("ablation-leaf", rs, true)
 		case "reads":
-			printReads(sc, readDur, report)
+			printReads(sc, readDur, report, *stats)
 		case "batch":
 			printBatch(sc, report)
 		case "durability":
@@ -112,7 +130,7 @@ func main() {
 		case "graph":
 			printGraph(sc, report)
 		case "shards":
-			printShards(sc, *maxShards, report)
+			printShards(sc, *maxShards, report, *stats)
 		}
 	}
 
@@ -125,11 +143,11 @@ func main() {
 	}
 }
 
-func printReads(sc bench.Scale, perCell time.Duration, report *bench.Report) {
+func printReads(sc bench.Scale, perCell time.Duration, report *bench.Report, stats bool) {
 	fmt.Println("== Read path: optimistic (seqlock) Get vs shared-latch baseline ==")
 	rs := bench.RunReads(sc, perCell)
-	// Cells come in (latched, optimistic) pairs per mix; index them for the
-	// speedup column.
+	// Cells come in (latched, optimistic, nometrics) triples per mix; index
+	// them for the speedup and overhead columns.
 	byKey := map[string]bench.ReadsResult{}
 	for _, r := range rs {
 		byKey[fmt.Sprintf("%s/%d", r.Variant, r.WriterPct)] = r
@@ -137,19 +155,39 @@ func printReads(sc bench.Scale, perCell time.Duration, report *bench.Report) {
 	for _, pct := range bench.ReadsWriterMixes {
 		opt := byKey[fmt.Sprintf("optimistic/%d", pct)]
 		lat := byKey[fmt.Sprintf("latched/%d", pct)]
+		nom := byKey[fmt.Sprintf("nometrics/%d", pct)]
 		speedup := 0.0
 		if lat.GetsPerSec > 0 {
 			speedup = opt.GetsPerSec / lat.GetsPerSec
 		}
 		fmt.Printf("%2d%% writers (%2dr/%2dw): latched %7.2f M gets/s, optimistic %7.2f M gets/s, speedup %5.2fx",
 			pct, opt.Readers, opt.Writers, lat.GetsPerSec/1e6, opt.GetsPerSec/1e6, speedup)
+		if nom.GetsPerSec > 0 {
+			// The observability overhead guard: optimistic runs with metrics
+			// on, nometrics is the same path with them disabled.
+			fmt.Printf(", metrics overhead %+5.1f%%", (nom.GetsPerSec-opt.GetsPerSec)/nom.GetsPerSec*100)
+		}
 		if opt.Writers > 0 {
 			fmt.Printf("  (puts: latched %5.2f M/s, optimistic %5.2f M/s)", lat.PutsPerSec/1e6, opt.PutsPerSec/1e6)
 		}
 		fmt.Println()
 	}
+	if stats {
+		for _, pct := range bench.ReadsWriterMixes {
+			st := byKey[fmt.Sprintf("optimistic/%d", pct)].Stats
+			fmt.Printf("   stats %2d%% writers: %d optimistic gets, %d latched fallbacks, %d probe retries, %d combined ops\n",
+				pct, st.Reads.GetOptimistic, st.Reads.GetLatched, st.Reads.GetProbeFails, st.Updates.CombinedOps)
+		}
+	}
 	fmt.Println()
 	report.AddReads(rs)
+	if stats {
+		for _, r := range rs {
+			report.AddStats("reads",
+				map[string]string{"variant": r.Variant, "writer_pct": fmt.Sprintf("%d", r.WriterPct)},
+				obs.Snapshot{CoreSnapshot: r.Stats})
+		}
+	}
 }
 
 func printBatch(sc bench.Scale, report *bench.Report) {
@@ -161,11 +199,16 @@ func printBatch(sc bench.Scale, report *bench.Report) {
 			shape = fmt.Sprintf("clusters of %d", cl)
 		}
 		r := bench.RunBatchComparison(sc.LoadN, n, 10_000, cl, sc.Seed)
-		fmt.Printf("PutBatch 10k (%-15s): point %6.2f M/s, batch %6.2f M/s, speedup %5.1fx\n",
-			shape, r.PointPerSec/1e6, r.BatchPerSec/1e6, r.Speedup)
+		overhead := 0.0
+		if r.NoMetricsPerSec > 0 {
+			overhead = (r.NoMetricsPerSec - r.BatchPerSec) / r.NoMetricsPerSec * 100
+		}
+		fmt.Printf("PutBatch 10k (%-15s): point %6.2f M/s, batch %6.2f M/s, speedup %5.1fx, metrics overhead %+5.1f%%\n",
+			shape, r.PointPerSec/1e6, r.BatchPerSec/1e6, r.Speedup, overhead)
 		labels := map[string]string{"shape": shape}
 		report.Add("batch", "point_put", labels, "ops/s", r.PointPerSec)
 		report.Add("batch", "put_batch", labels, "ops/s", r.BatchPerSec)
+		report.Add("batch", "put_batch_nometrics", labels, "ops/s", r.NoMetricsPerSec)
 	}
 	b := bench.RunBulkComparison(sc.InsertN, sc.Seed)
 	fmt.Printf("BulkLoad %d keys: point %v, bulk %v, speedup %.1fx\n\n",
@@ -197,7 +240,7 @@ func printDurability(sc bench.Scale, report *bench.Report) {
 	fmt.Println()
 }
 
-func printShards(sc bench.Scale, maxShards int, report *bench.Report) {
+func printShards(sc bench.Scale, maxShards int, report *bench.Report, stats bool) {
 	fmt.Println("== Sharding: multi-PMA store, write scaling by shard count ==")
 	var counts []int
 	for c := 1; c <= maxShards; c *= 2 {
@@ -216,6 +259,14 @@ func printShards(sc bench.Scale, maxShards int, report *bench.Report) {
 		report.Add("shards", "put", labels, "ops/s", r.PutsPerSec)
 		report.Add("shards", "put_batch", labels, "ops/s", r.BatchPerSec)
 		report.Add("shards", "scan_merge", labels, "pairs/s", r.ScanPerSec)
+		if stats {
+			fmt.Print("   routed ops per shard:")
+			for _, sh := range r.Stats.Shards {
+				fmt.Printf(" %d", sh.Ops)
+			}
+			fmt.Println()
+			report.AddStats("shards", labels, r.Stats)
+		}
 	}
 	fmt.Println()
 }

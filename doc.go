@@ -100,6 +100,35 @@
 // keeps the latch-free callback contract — the callback may update the same
 // store — with chunk atomicity per shard and no cross-shard snapshot.
 //
+// # Observability
+//
+// Every store variant is instrumented by default: Stats returns a typed
+// snapshot (Stats/obs.Snapshot) covering the read path (optimistic seqlock
+// serves vs latched fallbacks and probe retries), the combining queues
+// (absorbed ops, drain-size histogram, deferred batches), the rebalancer
+// (local/global/resize counts, window sizes, duration histograms), and — on
+// durable stores — WAL activity (appends, fsync latency, group-commit batch
+// sizes, rotations), checkpoints and the recovery phase split. Sharded
+// stores merge the per-shard snapshots and add per-shard routing counters.
+// Counter reads during concurrent operation are safe and monotonic per
+// stripe but not a consistent cut; quiesce first for exact totals.
+//
+// The snapshots obey documented cross-counter invariants, and Validate
+// checks them live: latched Get serves never exceed recorded probe
+// failures, and combined (queue-absorbed) ops never exceed drained plus
+// still-queued ops. Handler serves the same snapshot over HTTP — indented
+// JSON on any path, Prometheus text exposition (version 0.0.4) on paths
+// ending in "/metrics" — with zero dependencies.
+//
+// Metrics are on by default because their cost is small: hot paths
+// increment striped, cache-line-padded counters with no allocation, and
+// timing syscalls are confined to service goroutines (rebalancer, fsync,
+// checkpoint). WithoutMetrics disables the layer entirely, reducing every
+// site to one nil check; WithEventHook installs a synchronous structural
+// event tracer (rebalances, compactions, recovery, fsync stalls), which
+// NewSlogHook adapts onto log/slog. Hooks run on service goroutines and
+// must be fast and must not call back into the store.
+//
 // # Quick start
 //
 //	p, err := pmago.New()

@@ -5,8 +5,10 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"pmago/internal/core"
+	"pmago/internal/obs"
 	"pmago/internal/persist"
 )
 
@@ -58,6 +60,14 @@ type DB struct {
 	closed     atomic.Bool
 	bg         sync.WaitGroup
 	unlock     func() // releases the directory flock
+
+	// wal and ckpt are the durable layers' metric sets (nil with
+	// WithoutMetrics); recovery is written once by Open before the DB is
+	// shared; events is the structural-event hook (nil means none).
+	wal      *obs.WALMetrics
+	ckpt     *obs.CheckpointMetrics
+	events   obs.EventHook
+	recovery obs.RecoverySnapshot
 }
 
 // Open opens (creating it if necessary) a durable PMA rooted at dir.
@@ -81,13 +91,22 @@ func Open(dir string, opts ...Option) (*DB, error) {
 		return nil, err
 	}
 	var c *core.PMA
+	var (
+		start     = time.Now()
+		loadDone  time.Time
+		snapPairs int
+		walRecs   int64
+	)
 	rec, err := persist.Recover(dir,
 		func(keys, vals []int64) error {
 			var err error
 			c, err = core.BulkLoad(cfg.core, keys, vals)
+			snapPairs = len(keys)
+			loadDone = time.Now()
 			return err
 		},
 		func(r *persist.Record) error {
+			walRecs++
 			applyRecord(c, r)
 			return nil
 		})
@@ -101,14 +120,44 @@ func Open(dir string, opts ...Option) (*DB, error) {
 	// Replayed updates may sit in combining queues or deferred batches
 	// (TDelay); drain them so the store Open returns is fully caught up.
 	c.Flush()
+	// Phase split: everything until the bulk load returned is "snapshot
+	// load"; the rest — replaying the tail and flushing the queues it
+	// filled — is "WAL replay".
+	snapLoad := loadDone.Sub(start)
+	walReplay := time.Since(start) - snapLoad
+	// The durable layers share the metrics switch with the core config.
+	if !cfg.core.DisableMetrics {
+		cfg.dur.Metrics = &obs.WALMetrics{}
+	}
 	log, err := persist.OpenLog(dir, rec.NextSeq, cfg.dur)
 	if err != nil {
 		c.Close()
 		unlock()
 		return nil, err
 	}
-	db := &DB{inner: &PMA{c: c}, dir: dir, dur: cfg.dur, log: log, unlock: unlock}
+	db := &DB{inner: &PMA{c: c}, dir: dir, dur: cfg.dur, log: log, unlock: unlock,
+		wal: cfg.dur.Metrics, events: cfg.dur.Events}
+	if !cfg.core.DisableMetrics {
+		db.ckpt = &obs.CheckpointMetrics{}
+	}
+	db.recovery = obs.RecoverySnapshot{
+		Recoveries:        1,
+		SnapshotPairs:     uint64(snapPairs),
+		SnapshotBytes:     uint64(rec.SnapshotBytes),
+		SnapshotLoadNanos: uint64(snapLoad),
+		WALRecords:        uint64(walRecs),
+		WALReplayNanos:    uint64(walReplay),
+	}
 	db.snapBytes.Store(rec.SnapshotBytes)
+	if h := db.events; h != nil {
+		h.OnRecovery(obs.RecoveryEvent{
+			SnapshotPairs: int64(snapPairs),
+			SnapshotBytes: rec.SnapshotBytes,
+			SnapshotLoad:  snapLoad,
+			WALRecords:    walRecs,
+			WALReplay:     walReplay,
+		})
+	}
 	// Install the write-ahead hook only now: replay above must not re-log
 	// the records it applies.
 	c.SetHook(walHook{db})
@@ -204,12 +253,19 @@ func (db *DB) Sync() error {
 // On return, recovery cost is reset to the snapshot plus the live WAL tail.
 func (db *DB) Snapshot() error {
 	db.checkOpen()
-	return db.snapshot()
+	return db.snapshot(false)
 }
 
-func (db *DB) snapshot() error {
+// snapshot checkpoints the store; auto marks the WAL-growth-triggered
+// background compactions apart from explicit Snapshot calls in the metrics
+// and events.
+func (db *DB) snapshot(auto bool) error {
 	db.snapMu.Lock()
 	defer db.snapMu.Unlock()
+	var t0 time.Time
+	if db.ckpt != nil || db.events != nil {
+		t0 = time.Now()
+	}
 
 	// The cut: block writers, drain every combining queue so all updates
 	// logged so far are applied (and thus visible to the scan below),
@@ -223,7 +279,7 @@ func (db *DB) snapshot() error {
 		return err
 	}
 
-	_, size, err := persist.WriteSnapshot(db.dir, cut, func(yield func(k, v int64) bool) error {
+	count, size, err := persist.WriteSnapshot(db.dir, cut, func(yield func(k, v int64) bool) error {
 		db.inner.ScanAll(yield)
 		// The scan may have observed writes from after the cut whose WAL
 		// records are not yet on stable storage (FsyncInterval/FsyncNone).
@@ -245,6 +301,18 @@ func (db *DB) snapshot() error {
 	// garbage now.
 	db.log.TruncateBefore(cut)
 	persist.RemoveSnapshotsBefore(db.dir, cut)
+	if m := db.ckpt; m != nil {
+		m.Snapshots.Inc()
+		if auto {
+			m.AutoCompactions.Inc()
+		}
+		m.PairsWritten.Add(uint64(count))
+		m.BytesWritten.Add(uint64(size))
+		m.SnapshotNanos.ObserveDuration(time.Since(t0))
+	}
+	if h := db.events; h != nil {
+		h.OnCompaction(obs.CompactionEvent{Auto: auto, Pairs: count, Bytes: size, Duration: time.Since(t0)})
+	}
 	return nil
 }
 
@@ -274,8 +342,40 @@ func (db *DB) maybeCompact() {
 		if db.closed.Load() {
 			return
 		}
-		_ = db.snapshot() // failure keeps the WAL; the next trigger retries
+		_ = db.snapshot(true) // failure keeps the WAL; the next trigger retries
 	}()
+}
+
+// Stats returns the full durable metrics snapshot: the in-memory core
+// sections plus WAL, checkpoint and recovery. Overrides the promoted PMA
+// method so the durable sections are filled whether the DB is used directly
+// or through a Sharded store.
+func (db *DB) Stats() Stats {
+	s := db.inner.Stats()
+	s.Durable = true
+	s.WAL = db.wal.Snapshot()
+	s.Checkpoint = db.ckpt.Snapshot()
+	s.Recovery = db.recovery
+	return s
+}
+
+// Validate extends the in-memory structural validation with the durable
+// layer's metric invariants, so instrumentation bugs fail the durability
+// test suites too.
+func (db *DB) Validate() error {
+	if err := db.inner.Validate(); err != nil {
+		return err
+	}
+	if db.wal != nil {
+		// Group-commit deltas advance towards the appended-record count
+		// and never past it, and appends are counted before any fsync can
+		// cover them.
+		w := db.wal.Snapshot()
+		if w.GroupCommitRecords.Sum > w.Appends {
+			return fmt.Errorf("stats: group-commit record sum %d > wal appends %d", w.GroupCommitRecords.Sum, w.Appends)
+		}
+	}
+	return nil
 }
 
 // WALBytes reports the live write-ahead-log size — the replay cost a crash

@@ -62,5 +62,5 @@ func main() {
 
 	st := p.Stats()
 	fmt.Printf("structural events: %d local rebalances, %d global rebalances, %d resizes, %d combined updates\n",
-		st.LocalRebalances, st.GlobalRebalances, st.Resizes, st.CombinedOps)
+		st.Rebalance.Local, st.Rebalance.Global, st.Rebalance.Resizes, st.Updates.CombinedOps)
 }

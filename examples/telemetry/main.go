@@ -9,13 +9,27 @@
 // Part two makes the retained window durable: the events are ingested into
 // a pmago.Open store, checkpointed with Snapshot, written to past the
 // checkpoint (a WAL tail), and the process "restart" is simulated by
-// closing and reopening the store — everything must survive.
+// closing and reopening the store — everything must survive. The durable
+// store carries a slog event hook, so checkpoints, recoveries and slow
+// structural events land in the process log like any other operational
+// event.
+//
+// Part three is the ops view: pmago.Handler mounted on a loopback HTTP
+// server, scraped once in each exposition format — JSON for humans with
+// curl, Prometheus text for the metrics agent.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"fmt"
+	"io"
+	"log/slog"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -110,13 +124,58 @@ func main() {
 	fmt.Printf("dashboard computed %d sliding windows concurrently\n", windows.Load())
 	fmt.Printf("retained events after eviction: %d\n", p.Len())
 	fmt.Printf("PMA handled the append skew with %d combined updates and %d deferred batches\n",
-		st.CombinedOps, st.DeferredBatches)
+		st.Updates.CombinedOps, st.Updates.DeferredBatches)
+	fmt.Printf("read path: %d chunks scanned optimistically, %d under the shared latch\n",
+		st.Reads.ScanChunksOptimistic, st.Reads.ScanChunksLatched)
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
 	fmt.Println("structure validated")
 
+	serveMetrics(p)
 	durable(p)
+}
+
+// serveMetrics mounts pmago.Handler on a loopback HTTP server and scrapes
+// both exposition formats once, the way a production deployment's metrics
+// agent (or a human with curl) would.
+func serveMetrics(src pmago.StatsSource) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/pmago/", pmago.Handler(src))
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	defer srv.Close()
+
+	get := func(path string) []byte {
+		resp, err := http.Get("http://" + ln.Addr().String() + "/debug/pmago/" + path)
+		if err != nil {
+			panic(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			panic(err)
+		}
+		return body
+	}
+
+	jsonBody := get("")
+	samples, families := 0, 0
+	sc := bufio.NewScanner(bytes.NewReader(get("metrics")))
+	for sc.Scan() {
+		switch {
+		case strings.HasPrefix(sc.Text(), "# TYPE"):
+			families++
+		case !strings.HasPrefix(sc.Text(), "#"):
+			samples++
+		}
+	}
+	fmt.Printf("HTTP stats endpoint: %d bytes of JSON, %d Prometheus samples in %d families\n",
+		len(jsonBody), samples, families)
 }
 
 // durable persists the retained window into a pmago.Open store and proves
@@ -129,7 +188,14 @@ func durable(p *pmago.PMA) {
 	}
 	defer os.RemoveAll(dir)
 
-	db, err := pmago.Open(dir, pmago.WithFsync(pmago.FsyncInterval))
+	// The event hook routes structural events into the process log:
+	// checkpoints and recoveries at Info, anything slower than 2ms — and
+	// every fsync stall — at Warn. The snapshot below is big enough to
+	// cross the threshold, so a "slow compaction" warning is expected.
+	hook := pmago.NewSlogHook(
+		slog.New(slog.NewTextHandler(os.Stdout, &slog.HandlerOptions{Level: slog.LevelInfo})),
+		2*time.Millisecond)
+	db, err := pmago.Open(dir, pmago.WithFsync(pmago.FsyncInterval), pmago.WithEventHook(hook))
 	if err != nil {
 		panic(err)
 	}
@@ -166,8 +232,9 @@ func durable(p *pmago.PMA) {
 		panic(err)
 	}
 
-	// "Restart": recover from snapshot + WAL tail.
-	re, err := pmago.Open(dir)
+	// "Restart": recover from snapshot + WAL tail. The same hook reports
+	// the recovery split (snapshot load vs WAL replay).
+	re, err := pmago.Open(dir, pmago.WithEventHook(hook))
 	if err != nil {
 		panic(err)
 	}
@@ -184,5 +251,8 @@ func durable(p *pmago.PMA) {
 	if err := re.Validate(); err != nil {
 		panic(err)
 	}
+	rst := re.Stats()
 	fmt.Printf("durable store: %d events survived snapshot + WAL-tail restart\n", re.Len())
+	fmt.Printf("recovery split: %d pairs from the snapshot, %d WAL records replayed\n",
+		rst.Recovery.SnapshotPairs, rst.Recovery.WALRecords)
 }

@@ -73,8 +73,9 @@ func (g *Graph) Edges(fn func(src, dst uint32, weight int64) bool) { g.g.Edges(f
 // Flush applies pending asynchronous updates.
 func (g *Graph) Flush() { g.g.Flush() }
 
-// Stats returns the edge array's structural counters.
-func (g *Graph) Stats() Stats { return g.g.Stats() }
+// Stats returns the edge array's metrics snapshot (the durable sections stay
+// zero — graphs are in-memory).
+func (g *Graph) Stats() Stats { return Stats{CoreSnapshot: g.g.Stats()} }
 
 // BFS returns hop distances from src for all reachable vertices.
 func (g *Graph) BFS(src uint32) map[uint32]int { return g.g.BFS(src) }

@@ -75,9 +75,10 @@ type BatchResult struct {
 	BatchSize  int
 	ClusterLen int // 0 = uniformly scattered keys
 
-	PointPerSec float64 // keys/s via the point-update loop
-	BatchPerSec float64 // keys/s via PutBatch
-	Speedup     float64
+	PointPerSec     float64 // keys/s via the point-update loop
+	BatchPerSec     float64 // keys/s via PutBatch
+	NoMetricsPerSec float64 // keys/s via PutBatch with metrics disabled (overhead guard)
+	Speedup         float64
 }
 
 // RunBatchComparison preloads a paper-configuration PMA with loadN uniform
@@ -90,8 +91,10 @@ type BatchResult struct {
 // series), which per-gate merging amortises and a point loop cannot.
 func RunBatchComparison(loadN, n, batchSize, clusterLen int, seed int64) BatchResult {
 	res := BatchResult{LoadN: loadN, N: n, BatchSize: batchSize, ClusterLen: clusterLen}
-	run := func(batched bool) float64 {
-		s := core.MustNew(PaperPMAConfig())
+	run := func(batched, metrics bool) float64 {
+		cfg := PaperPMAConfig()
+		cfg.DisableMetrics = !metrics
+		s := core.MustNew(cfg)
 		defer s.Close()
 		preload(s, loadN, seed)
 		keys, vals := ingestKeys(n, clusterLen, seed)
@@ -110,8 +113,9 @@ func RunBatchComparison(loadN, n, batchSize, clusterLen int, seed int64) BatchRe
 		s.Flush()
 		return float64(n) / time.Since(start).Seconds()
 	}
-	res.PointPerSec = run(false)
-	res.BatchPerSec = run(true)
+	res.PointPerSec = run(false, true)
+	res.BatchPerSec = run(true, true)
+	res.NoMetricsPerSec = run(true, false)
 	res.Speedup = res.BatchPerSec / res.PointPerSec
 	return res
 }

@@ -6,6 +6,8 @@ import (
 	"os"
 	"runtime"
 	"time"
+
+	"pmago/internal/obs"
 )
 
 // Machine-readable benchmark output. `pmabench -json FILE` collects every
@@ -89,6 +91,41 @@ func (r *Report) AddReads(rs []ReadsResult) {
 		if res.Writers > 0 {
 			r.Add("reads", "puts", labels, "ops/s", res.PutsPerSec)
 		}
+	}
+}
+
+// AddStats flattens a store's metrics snapshot into metric rows under the
+// given experiment, one row per counter and three (_count/_sum/_max) per
+// distribution — the `pmabench -stats` path, so a BENCH_*.json records not
+// just throughput but what the store structurally did to deliver it.
+// Nanosecond distributions are scaled to seconds like the Prometheus
+// exposition. The extra labels distinguish cells (e.g. the writer mix).
+func (r *Report) AddStats(experiment string, labels map[string]string, s obs.Snapshot) {
+	if r == nil {
+		return
+	}
+	for _, p := range s.Points() {
+		l := labels
+		if p.Labels != nil {
+			l = make(map[string]string, len(labels)+len(p.Labels))
+			for k, v := range labels {
+				l[k] = v
+			}
+			for k, v := range p.Labels {
+				l[k] = v
+			}
+		}
+		scale := p.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		if p.Dist == nil {
+			r.Add(experiment, "stats_"+p.Name, l, p.Unit, float64(p.Value)*scale)
+			continue
+		}
+		r.Add(experiment, "stats_"+p.Name+"_count", l, "observations", float64(p.Dist.Count))
+		r.Add(experiment, "stats_"+p.Name+"_sum", l, p.Unit, float64(p.Dist.Sum)*scale)
+		r.Add(experiment, "stats_"+p.Name+"_max", l, p.Unit, float64(p.Dist.Max)*scale)
 	}
 }
 

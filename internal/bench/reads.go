@@ -12,21 +12,30 @@ import (
 // This file is the read-path experiment behind `pmabench -experiment reads`:
 // it measures Get throughput of the optimistic (seqlock) read protocol
 // against the shared-latch baseline (core.Config.DisableOptimisticReads) at
-// 0%, 25% and 50% writer mixes, over the same preloaded store. The
-// acceptance bar for the optimistic path is that it improves the
-// uncontended mix and regresses no mix — the numbers are recorded in
-// README.md and the BENCH_*.json trajectory.
+// 0%, 25% and 50% writer mixes, over the same preloaded store, plus a
+// "nometrics" variant (optimistic path, core.Config.DisableMetrics) that
+// guards the observability overhead: metrics-on must stay within a few
+// percent of metrics-off on every mix. The acceptance bar for the
+// optimistic path is that it improves the uncontended mix and regresses no
+// mix — the numbers are recorded in README.md and the BENCH_*.json
+// trajectory.
 
 // ReadsResult is one cell of the read-path comparison.
 type ReadsResult struct {
-	Variant    string // "optimistic" or "latched"
+	Variant    string // "optimistic", "latched" or "nometrics"
 	WriterPct  int    // requested share of threads issuing updates
 	Readers    int    // goroutines issuing Gets
 	Writers    int    // goroutines issuing Puts
 	GetsPerSec float64
 	PutsPerSec float64
 	Wall       time.Duration
+	// Stats is the store's metrics snapshot at the end of the cell (zeros
+	// for the nometrics variant) — `pmabench -stats` reports it.
+	Stats core.Stats
 }
+
+// ReadsVariants are the evaluated read-path configurations.
+var ReadsVariants = []string{"optimistic", "latched", "nometrics"}
 
 // ReadsWriterMixes are the evaluated writer shares, in percent of threads.
 var ReadsWriterMixes = []int{0, 25, 50}
@@ -65,9 +74,10 @@ func RunReads(sc Scale, perCell time.Duration) []ReadsResult {
 		if readers < 1 {
 			readers = 1
 		}
-		for _, variant := range []string{"optimistic", "latched"} {
+		for _, variant := range ReadsVariants {
 			cfg := PaperPMAConfig()
 			cfg.DisableOptimisticReads = variant == "latched"
+			cfg.DisableMetrics = variant == "nometrics"
 			var best ReadsResult
 			for rep := 0; rep < repeats; rep++ {
 				r := runReadsCell(cfg, variant, pct, readers, writers, keys, vals, perCell, sc.Seed+int64(rep))
@@ -148,5 +158,6 @@ func runReadsCell(cfg core.Config, variant string, pct, readers, writers int, ke
 		GetsPerSec: float64(gets.Load()) / secs,
 		PutsPerSec: float64(puts.Load()) / secs,
 		Wall:       wall,
+		Stats:      p.Stats(),
 	}
 }

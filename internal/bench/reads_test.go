@@ -11,11 +11,15 @@ import (
 func TestRunReadsSmall(t *testing.T) {
 	sc := Scale{LoadN: 10_000, Threads: 4, Seed: 1}
 	rs := RunReads(sc, 30*time.Millisecond)
-	if want := 2 * len(ReadsWriterMixes); len(rs) != want {
+	if want := len(ReadsVariants) * len(ReadsWriterMixes); len(rs) != want {
 		t.Fatalf("got %d cells, want %d", len(rs), want)
 	}
+	known := make(map[string]bool, len(ReadsVariants))
+	for _, v := range ReadsVariants {
+		known[v] = true
+	}
 	for _, r := range rs {
-		if r.Variant != "optimistic" && r.Variant != "latched" {
+		if !known[r.Variant] {
 			t.Fatalf("unexpected variant %q", r.Variant)
 		}
 		if r.GetsPerSec <= 0 {

@@ -24,6 +24,10 @@ type ShardsResult struct {
 	PutsPerSec  float64 // concurrent point Puts
 	BatchPerSec float64 // chunked cross-shard PutBatch, single caller
 	ScanPerSec  float64 // pairs/s through one merged ScanAll
+	// Stats is the merged metrics snapshot at the end of the cell,
+	// including the per-shard routing counters — `pmabench -stats`
+	// reports it.
+	Stats pmago.Stats
 }
 
 // RunShards measures each shard count: n point Puts over `threads` writers,
@@ -78,6 +82,7 @@ func RunShards(n, threads int, shardCounts []int, seed int64) []ShardsResult {
 		if pairs != s.Len() {
 			panic(fmt.Sprintf("bench: merged scan saw %d pairs, store holds %d", pairs, s.Len()))
 		}
+		res.Stats = s.Stats()
 
 		if err := s.Close(); err != nil {
 			panic(err)

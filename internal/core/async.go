@@ -26,6 +26,9 @@ func (p *PMA) drainQueue(st *state, g *gate, guard *epoch.Guard) {
 			break
 		}
 		g.mu.Unlock()
+		if m := p.metrics; m != nil {
+			m.DrainSize.Observe(uint64(len(ops)))
+		}
 
 		var rest []op
 		var released bool
@@ -79,6 +82,9 @@ func (p *PMA) drainOneByOne(st *state, g *gate, ops []op) (reroute []op, release
 			// period this writer's acquisition began.
 			g.lstate = lsTransferred
 			g.mu.Unlock()
+			if m := p.metrics; m != nil && len(extra) > 0 {
+				m.DrainSize.Observe(uint64(len(extra)))
+			}
 			req := &request{kind: reqRebalance, st: st, g: g, gen: gen, pending: 1, done: make(chan struct{})}
 			p.reb.submit(req)
 			<-req.done
@@ -138,7 +144,9 @@ func (p *PMA) handOffBatch(st *state, g *gate, ins []op, wait bool) {
 		// lastReb is read under the latch we still hold.
 		nb := time.Unix(0, g.lastReb).Add(p.cfg.TDelay)
 		if time.Now().Before(nb) {
-			p.deferredBatches.Add(1)
+			if m := p.metrics; m != nil {
+				m.DeferredBatches.Inc()
+			}
 			notBefore = nb
 		}
 	}
@@ -318,6 +326,9 @@ func (p *PMA) sweepQueues(guard *epoch.Guard) bool {
 		}
 		g.mu.Unlock()
 		if len(ops) > 0 {
+			if m := p.metrics; m != nil {
+				m.DrainSize.Observe(uint64(len(ops)))
+			}
 			stole = true
 			for _, o := range ops {
 				p.updateSyncInternal(o, guard)

@@ -258,6 +258,9 @@ func (p *PMA) applyGateBatch(st *state, g *gate, run []op) (removed int64, lefto
 		g.pendingBatch = false
 		g.mu.Unlock()
 		absorbed = len(parked) > 0
+		if m := p.metrics; m != nil && absorbed {
+			m.DrainSize.Observe(uint64(len(parked)))
+		}
 		merged := make([]op, 0, len(parked)+len(run))
 		merged = append(merged, parked...)
 		merged = append(merged, run...)

@@ -153,7 +153,7 @@ func TestPutBatchOverflowFallsBackToRebalancer(t *testing.T) {
 	}
 	p.PutBatch(keys, vals)
 	st := p.Stats()
-	if st.Resizes == 0 {
+	if st.Rebalance.Resizes == 0 {
 		t.Fatalf("expected resizes from batch overflow, got %+v", st)
 	}
 	checkAgainstModel(t, p, model, "overflow")

@@ -40,6 +40,7 @@ import (
 	"time"
 
 	"pmago/internal/epoch"
+	"pmago/internal/obs"
 	"pmago/internal/rewire"
 	"pmago/internal/rma"
 	"pmago/internal/sindex"
@@ -109,6 +110,18 @@ type Config struct {
 	// harness (pmabench -experiment reads) and for diagnosing suspected
 	// fast-path issues.
 	DisableOptimisticReads bool
+	// DisableMetrics turns off the obs counters and histograms. The zero
+	// value — metrics on — is the intended configuration: enabled metrics
+	// cost striped-counter increments off the contended cache lines, and
+	// disabling them reduces every instrumentation site to a single nil
+	// check (Stats then reports zeros, except EpochReclaimed which the
+	// epoch manager tracks regardless).
+	DisableMetrics bool
+	// Events receives structural-event callbacks (global rebalances and
+	// resizes) from the rebalancer master goroutine. Independent of
+	// DisableMetrics; nil means no callbacks. See obs.EventHook for the
+	// reentrancy and latency contract.
+	Events obs.EventHook
 }
 
 // DefaultConfig mirrors the evaluation setup of Section 4.
@@ -166,15 +179,9 @@ type UpdateHook interface {
 // returning the store); there is no synchronisation on the field itself.
 func (p *PMA) SetHook(h UpdateHook) { p.hook = h }
 
-// Stats exposes structural-event counters for experiments and tests.
-type Stats struct {
-	LocalRebalances  int64
-	GlobalRebalances int64
-	Resizes          int64
-	CombinedOps      int64 // updates absorbed into another writer's queue
-	DeferredBatches  int64 // batches handed to the rebalancer due to tdelay
-	EpochReclaimed   int64 // retired states freed by the epoch collector
-}
+// Stats is the typed metrics snapshot returned by PMA.Stats: the obs-layer
+// core section (read path, combining queues, rebalancer).
+type Stats = obs.CoreSnapshot
 
 // state is one immutable-geometry generation of the sparse array. A resize
 // builds a fresh state and publishes it through PMA.state.
@@ -226,11 +233,11 @@ type PMA struct {
 	shrinkPending atomic.Bool
 	closed        atomic.Bool
 
-	localRebalances  atomic.Int64
-	globalRebalances atomic.Int64
-	resizes          atomic.Int64
-	combinedOps      atomic.Int64
-	deferredBatches  atomic.Int64
+	// metrics is nil when Config.DisableMetrics is set; every
+	// instrumentation site guards with `if m := p.metrics; m != nil`.
+	// events is the structural-event hook (nil means none).
+	metrics *obs.CoreMetrics
+	events  obs.EventHook
 }
 
 // New creates an empty concurrent PMA and starts its service goroutines
@@ -252,6 +259,9 @@ func newShell(cfg Config) (*PMA, error) {
 	if cfg.SegmentCapacity == 0 { // fill zero fields from the default
 		def := DefaultConfig()
 		def.Mode = cfg.Mode
+		def.DisableOptimisticReads = cfg.DisableOptimisticReads
+		def.DisableMetrics = cfg.DisableMetrics
+		def.Events = cfg.Events
 		cfg = def
 	}
 	if cfg.Workers <= 0 {
@@ -266,12 +276,17 @@ func newShell(cfg Config) (*PMA, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &PMA{
+	p := &PMA{
 		cfg:      cfg,
 		adaptive: cfg.Adaptive || cfg.Mode == ModeOneByOne,
 		pool:     rewire.NewPool(cfg.SegmentsPerGate*cfg.SegmentCapacity, 4*cfg.Workers+16),
 		epochs:   epoch.NewManager(),
-	}, nil
+		events:   cfg.Events,
+	}
+	if !cfg.DisableMetrics {
+		p.metrics = &obs.CoreMetrics{}
+	}
+	return p, nil
 }
 
 // startServices launches the epoch collector and the rebalancer. The state
@@ -360,16 +375,13 @@ func (p *PMA) NumGates() int {
 	return len(p.state.Load().gates)
 }
 
-// Stats returns a snapshot of the structural counters.
+// Stats returns a snapshot of the metrics. With DisableMetrics set, every
+// field is zero except EpochReclaimed, which the epoch manager always
+// tracks (its GC loop needs the count anyway).
 func (p *PMA) Stats() Stats {
-	return Stats{
-		LocalRebalances:  p.localRebalances.Load(),
-		GlobalRebalances: p.globalRebalances.Load(),
-		Resizes:          p.resizes.Load(),
-		CombinedOps:      p.combinedOps.Load(),
-		DeferredBatches:  p.deferredBatches.Load(),
-		EpochReclaimed:   p.epochs.Reclaimed(),
-	}
+	s := p.metrics.Snapshot()
+	s.Rebalance.EpochReclaimed = uint64(p.epochs.Reclaimed())
+	return s
 }
 
 // Mode returns the configured update-processing mode.

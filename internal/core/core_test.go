@@ -399,7 +399,7 @@ func TestCombiningHappensUnderSkew(t *testing.T) {
 	}
 	wg.Wait()
 	p.Flush()
-	if p.Stats().CombinedOps == 0 {
+	if p.Stats().Updates.CombinedOps == 0 {
 		t.Fatal("no updates were ever combined under heavy skew")
 	}
 	if err := p.Validate(); err != nil {
@@ -441,20 +441,20 @@ func TestStatsCounters(t *testing.T) {
 		p.Put(i, i)
 	}
 	st := p.Stats()
-	if st.Resizes == 0 {
+	if st.Rebalance.Resizes == 0 {
 		t.Error("no resizes recorded")
 	}
-	if st.LocalRebalances == 0 {
+	if st.Rebalance.Local == 0 {
 		t.Error("no local rebalances recorded")
 	}
-	if st.GlobalRebalances == 0 {
+	if st.Rebalance.Global == 0 {
 		t.Error("no global rebalances recorded")
 	}
-	if st.EpochReclaimed == 0 {
+	if st.Rebalance.EpochReclaimed == 0 {
 		// Resizes retire the old state; the collector should have
 		// reclaimed at least one by now.
 		time.Sleep(50 * time.Millisecond)
-		if p.Stats().EpochReclaimed == 0 {
+		if p.Stats().Rebalance.EpochReclaimed == 0 {
 			t.Error("epoch collector never reclaimed a retired state")
 		}
 	}

@@ -296,7 +296,9 @@ func (g *gate) put(st *state, k, v int64) putResult {
 			return putNeedsGlobal
 		}
 		g.rebalanceLocal(ws, we)
-		st.p.localRebalances.Add(1)
+		if m := st.p.metrics; m != nil {
+			m.LocalRebalances.Inc()
+		}
 		s = g.findSeg(k)
 		base = s * g.b
 		keys = g.buf.Keys[base : base+g.segCard[s]]
@@ -597,7 +599,9 @@ func (g *gate) mergeLocal(st *state, ins []op) (int, bool) {
 			g.spreadLocal(ws, we, ks, vs)
 			delta := len(ks) - len(exK)
 			g.gcard += delta
-			st.p.localRebalances.Add(1)
+			if m := st.p.metrics; m != nil {
+				m.LocalRebalances.Inc()
+			}
 			return delta, true
 		}
 	}

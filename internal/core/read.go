@@ -49,9 +49,18 @@ func (p *PMA) Get(k int64) (int64, bool) {
 		for {
 			g := st.gates[gi]
 			if optimistic {
-				v, ok, res := p.getOptimistic(g, k)
+				v, ok, res, fails := p.getOptimistic(g, k)
+				// Record probe failures before any latched serve so that
+				// GetLatched <= GetProbeFails holds under concurrent Stats
+				// (the fallback's failures are visible before it is).
+				if m := p.metrics; m != nil && fails > 0 {
+					m.GetProbeFails.Add(uint64(fails))
+				}
 				switch res {
 				case readOK:
+					if m := p.metrics; m != nil {
+						m.GetOptimistic.Inc()
+					}
 					return v, ok
 				case readInvalid:
 					break walk
@@ -86,6 +95,9 @@ func (p *PMA) Get(k int64) (int64, bool) {
 			}
 			v, ok := g.get(k)
 			g.unlockShared()
+			if m := p.metrics; m != nil {
+				m.GetLatched.Inc()
+			}
 			return v, ok
 		}
 		guard.Refresh()
@@ -101,30 +113,35 @@ func (p *PMA) Get(k int64) (int64, bool) {
 // rather than yielding: a writer's exclusive section is short, so either a
 // quick re-probe succeeds or the gate is genuinely writer-heavy and parking
 // on the shared latch (which writers wake on release) beats burning cycles.
-func (p *PMA) getOptimistic(g *gate, k int64) (int64, bool, readStatus) {
+// The returned fails count is the number of discarded attempts (failed
+// seqlock validations), which the caller feeds the metrics.
+func (p *PMA) getOptimistic(g *gate, k int64) (int64, bool, readStatus, int) {
+	fails := 0
 	for attempt := 0; attempt < optimisticAttempts; attempt++ {
 		v1 := g.version.Load()
 		if v1&1 != 0 {
+			fails++
 			continue // exclusive holder active; snapshot cannot validate
 		}
 		invalid := g.invalid
 		lo, hi := g.fenceLo, g.fenceHi
 		val, ok := g.getRacy(k)
 		if g.version.Load() != v1 {
+			fails++
 			continue // an exclusive holder intervened; discard everything
 		}
 		switch {
 		case invalid:
-			return 0, false, readInvalid
+			return 0, false, readInvalid, fails
 		case k < lo:
-			return 0, false, readLeft
+			return 0, false, readLeft, fails
 		case k > hi:
-			return 0, false, readRight
+			return 0, false, readRight, fails
 		default:
-			return val, ok, readOK
+			return val, ok, readOK, fails
 		}
 	}
-	return 0, false, readContended
+	return 0, false, readContended, fails
 }
 
 // Scan visits all pairs with lo <= key <= hi in ascending key order,
@@ -198,10 +215,13 @@ func (p *PMA) Scan(lo, hi int64, fn func(k, v int64) bool) {
 // walk of the latched path.
 func (p *PMA) snapshotGate(st *state, gi int, from, hi int64, sb *scanBuf, optimistic bool) (int64, readStatus) {
 	g := st.gates[gi]
+	m := p.metrics
 	if optimistic {
+		fails := 0
 		for attempt := 0; attempt < optimisticAttempts; attempt++ {
 			v1 := g.version.Load()
 			if v1&1 != 0 {
+				fails++
 				continue
 			}
 			sb.reset(g.spg * g.b)
@@ -209,7 +229,11 @@ func (p *PMA) snapshotGate(st *state, gi int, from, hi int64, sb *scanBuf, optim
 			lo, fhi := g.fenceLo, g.fenceHi
 			sb.ks, sb.vs = g.collectRacy(from, hi, sb.ks, sb.vs)
 			if g.version.Load() != v1 {
+				fails++
 				continue
+			}
+			if m != nil && fails > 0 {
+				m.ScanProbeFails.Add(uint64(fails))
 			}
 			switch {
 			case invalid:
@@ -219,8 +243,16 @@ func (p *PMA) snapshotGate(st *state, gi int, from, hi int64, sb *scanBuf, optim
 			case from > fhi && gi < len(st.gates)-1:
 				return 0, readRight
 			default:
+				if m != nil {
+					m.ScanChunksOptimistic.Inc()
+				}
 				return fhi, readOK
 			}
+		}
+		// All attempts failed; record them before the latched fallback so
+		// ScanChunksLatched <= ScanProbeFails holds under concurrent Stats.
+		if m != nil {
+			m.ScanProbeFails.Add(uint64(fails))
 		}
 	}
 	g.lockShared()
@@ -244,6 +276,9 @@ func (p *PMA) snapshotGate(st *state, gi int, from, hi int64, sb *scanBuf, optim
 	})
 	fenceHi := g.fenceHi
 	g.unlockShared()
+	if m != nil {
+		m.ScanChunksLatched.Inc()
+	}
 	return fenceHi, readOK
 }
 

@@ -5,10 +5,13 @@ import "testing"
 // benchGet measures single-threaded random Get over a 1M-element store —
 // the uncontended comparison between the seqlock fast path and the
 // shared-latch baseline (the multi-threaded mixes live in
-// internal/bench/reads.go behind `pmabench -experiment reads`).
-func benchGet(b *testing.B, disable bool) {
+// internal/bench/reads.go behind `pmabench -experiment reads`). The
+// metricsOff variant is the observability overhead guard: it must stay
+// within a few percent of the default (metrics-on) cell, and both must run
+// allocation-free (TestGetDoesNotAllocate pins that).
+func benchGet(b *testing.B, mutate func(*Config)) {
 	cfg := DefaultConfig()
-	cfg.DisableOptimisticReads = disable
+	mutate(&cfg)
 	const n = 1 << 20
 	keys := make([]int64, n)
 	vals := make([]int64, n)
@@ -21,6 +24,7 @@ func benchGet(b *testing.B, disable bool) {
 		b.Fatal(err)
 	}
 	defer p.Close()
+	b.ReportAllocs()
 	b.ResetTimer()
 	rng := int64(1)
 	for i := 0; i < b.N; i++ {
@@ -30,5 +34,47 @@ func benchGet(b *testing.B, disable bool) {
 	}
 }
 
-func BenchmarkGetOptimistic(b *testing.B) { benchGet(b, false) }
-func BenchmarkGetLatched(b *testing.B)    { benchGet(b, true) }
+func BenchmarkGetOptimistic(b *testing.B) { benchGet(b, func(*Config) {}) }
+func BenchmarkGetLatched(b *testing.B) {
+	benchGet(b, func(c *Config) { c.DisableOptimisticReads = true })
+}
+func BenchmarkGetMetricsOff(b *testing.B) {
+	benchGet(b, func(c *Config) { c.DisableMetrics = true })
+}
+
+// TestGetDoesNotAllocate pins the read path's zero-allocation contract in
+// both metrics modes: the striped counters increment in place (the stripe
+// index comes from a stack address, not a heap handle), and the disabled
+// path is a single nil check. CI asserts the same property on the
+// BenchmarkGetMetricsOff output.
+func TestGetDoesNotAllocate(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		disable bool
+	}{{"metrics-on", false}, {"metrics-off", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.DisableMetrics = tc.disable
+			const n = 1 << 12
+			keys := make([]int64, n)
+			vals := make([]int64, n)
+			for i := range keys {
+				keys[i] = int64(i)*2 + 1
+				vals[i] = keys[i]
+			}
+			p, err := BulkLoad(cfg, keys, vals)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			rng := int64(1)
+			avg := testing.AllocsPerRun(1000, func() {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				p.Get(keys[(uint64(rng)>>16)%uint64(n)])
+			})
+			if avg != 0 {
+				t.Errorf("Get allocates %.2f objects/op, want 0", avg)
+			}
+		})
+	}
+}

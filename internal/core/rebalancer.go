@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"pmago/internal/obs"
 	"pmago/internal/rewire"
 	"pmago/internal/rma"
 )
@@ -315,7 +316,14 @@ func (r *rebalancer) process(req *request) []op {
 	// Window search above the chunk level (Section 3.3): expand aligned
 	// gate ranges upward through the calibrator tree, latching the newly
 	// covered gates along the way. Only the master ever holds more than
-	// one latch.
+	// one latch. The search is timed as part of the rebalance: escalation
+	// cost is what the window histogram is meant to explain. Only the
+	// (single) master goroutine reaches this code, so the clock reads
+	// cannot contend.
+	var t0 time.Time
+	if p.metrics != nil || p.events != nil {
+		t0 = time.Now()
+	}
 	glo, ghi := g.idx, g.idx+1
 	pending := req.pending + len(ins)
 	chunkLevel := log2(st.spg) + 1
@@ -347,7 +355,14 @@ func (r *rebalancer) process(req *request) []op {
 		for i := glo; i < ghi; i++ {
 			st.gates[i].rebUnlock()
 		}
-		p.globalRebalances.Add(1)
+		if m := p.metrics; m != nil {
+			m.GlobalRebalances.Inc()
+			m.RebalanceWindow.Observe(uint64(ghi - glo))
+			m.RebalanceNanos.ObserveDuration(time.Since(t0))
+		}
+		if h := p.events; h != nil {
+			h.OnRebalance(obs.RebalanceEvent{Gates: ghi - glo, Duration: time.Since(t0)})
+		}
 	} else {
 		r.resize(st, glo, ghi, ins, true)
 	}
@@ -363,6 +378,9 @@ func (r *rebalancer) detachQueue(g *gate) []op {
 		g.pendingBatch = false
 	}
 	g.mu.Unlock()
+	if m := r.p.metrics; m != nil && len(ops) > 0 {
+		m.DrainSize.Observe(uint64(len(ops)))
+	}
 	return ops
 }
 
@@ -667,6 +685,12 @@ func (r *rebalancer) publish(st *state, glo, ghi int, plans []destPlan) {
 // acquires the rest, and releases everything before returning.
 func (r *rebalancer) resize(st *state, heldLo, heldHi int, ins []op, grow bool) {
 	p := r.p
+	// Timed from here (latching the world is part of the cost); the
+	// abandoned-shrink early return below deliberately counts nothing.
+	var t0 time.Time
+	if p.metrics != nil || p.events != nil {
+		t0 = time.Now()
+	}
 	for i := 0; i < heldLo; i++ {
 		st.gates[i].rebLock()
 	}
@@ -762,7 +786,16 @@ func (r *rebalancer) resize(st *state, heldLo, heldHi int, ins []op, grow bool) 
 		p.pool.Put(g.buf)
 	}
 	p.epochs.Retire(func() {})
-	p.resizes.Add(1)
+	if m := p.metrics; m != nil {
+		m.Resizes.Inc()
+		// A resize is the top escalation level: its window is the whole
+		// (old) table, so it lands in the window histogram's tail.
+		m.RebalanceWindow.Observe(uint64(len(st.gates)))
+		m.ResizeNanos.ObserveDuration(time.Since(t0))
+	}
+	if h := p.events; h != nil {
+		h.OnRebalance(obs.RebalanceEvent{Gates: len(st.gates), Resize: true, Duration: time.Since(t0)})
+	}
 }
 
 // installState wires freshly built chunk plans into a not-yet-published

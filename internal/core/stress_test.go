@@ -306,12 +306,12 @@ func TestReadDuringResizeHandOff(t *testing.T) {
 	const block = 6_000
 	bk := make([]int64, block)
 	bv := make([]int64, block)
-	wantResizes := int64(6)
+	wantResizes := uint64(6)
 	if testing.Short() {
 		wantResizes = 2
 	}
 	deadline := time.Now().Add(20 * time.Second)
-	for round := int64(0); p.Stats().Resizes < wantResizes && time.Now().Before(deadline); round++ {
+	for round := int64(0); p.Stats().Rebalance.Resizes < wantResizes && time.Now().Before(deadline); round++ {
 		for i := range bk {
 			bk[i] = ((round*31 + int64(i)*2) % (numCanaries * spread)) &^ 1
 			bv[i] = stressVal(bk[i])
@@ -335,7 +335,7 @@ func TestReadDuringResizeHandOff(t *testing.T) {
 		t.Fatal(msg)
 	default:
 	}
-	if got := p.Stats().Resizes; got < wantResizes {
+	if got := p.Stats().Rebalance.Resizes; got < wantResizes {
 		t.Fatalf("churn produced only %d resizes, want >= %d — test did not exercise the hand-off", got, wantResizes)
 	}
 	p.Flush()

@@ -89,6 +89,42 @@ func (p *PMA) Validate() error {
 	if int64(total) != st.card.Load() {
 		return fmt.Errorf("element sum %d != recorded cardinality %d", total, st.card.Load())
 	}
+	return p.validateStats()
+}
+
+// validateStats cross-checks the live metrics' own invariants, so a broken
+// instrumentation site (a double count, a missed drain observation) fails
+// the existing structural test suites instead of silently skewing operator
+// dashboards. Reads may still be in flight, so each check loads its
+// bounded side first: the bounding counter is always incremented first on
+// the instrumented paths, making the inequality stable under races.
+func (p *PMA) validateStats() error {
+	m := p.metrics
+	if m == nil {
+		return nil
+	}
+	if !p.cfg.DisableOptimisticReads && !raceEnabled {
+		// A latched fallback only happens after failed probes, and the
+		// failures are recorded before the latched serve.
+		latched := m.GetLatched.Load()
+		if fails := m.GetProbeFails.Load(); latched > fails {
+			return fmt.Errorf("stats: latched gets %d > probe failures %d", latched, fails)
+		}
+		scanLatched := m.ScanChunksLatched.Load()
+		if fails := m.ScanProbeFails.Load(); scanLatched > fails {
+			return fmt.Errorf("stats: latched scan chunks %d > scan probe failures %d", scanLatched, fails)
+		}
+	}
+	// Every absorbed op enters a combining queue, and every queue detach
+	// observes its length into DrainSize — so, with the still-queued ops
+	// added, the drained total bounds the absorbed one. (The converse
+	// doesn't hold: drains also carry the seeding writer's own op and
+	// re-queued batch inserts.)
+	combined := m.CombinedOps.Load()
+	drained := m.DrainSize.Snapshot().Sum + uint64(p.QueuedOps())
+	if combined > drained {
+		return fmt.Errorf("stats: combined ops %d > drained+queued ops %d", combined, drained)
+	}
 	return nil
 }
 

@@ -49,7 +49,9 @@ func (p *PMA) lockForWrite(g *gate, o op) lockResult {
 			g.wWaiting--
 			g.cond.Broadcast()
 			g.mu.Unlock()
-			p.combinedOps.Add(1)
+			if m := p.metrics; m != nil {
+				m.CombinedOps.Inc()
+			}
 			return lockEnqueued
 		}
 		if g.lstate == lsFree && !g.rebWanted {

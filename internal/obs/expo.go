@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Point is one flattened metric from a Snapshot: either a scalar counter
+// (Dist nil) or a distribution. The flat form backs both exposition
+// surfaces — the Prometheus text writer below and pmabench's -stats JSON
+// rows — so the metric catalog lives in exactly one place (Points).
+type Point struct {
+	Name   string            // metric name without the exporter prefix
+	Labels map[string]string // nil for most points; shard index for routing
+	Value  uint64            // scalar value (counters/gauges)
+	Dist   *Distribution     // non-nil for histogram points (Value unused)
+	Scale  float64           // exposition multiplier: 1e-9 for ns→seconds, else 0 (=1)
+	Unit   string            // "ops", "bytes", "seconds", ... (JSON rows only)
+	Gauge  bool              // TYPE gauge instead of counter
+}
+
+// Points flattens the snapshot into the full metric catalog. Zero-valued
+// scalar points are included — a scrape of a fresh store should show the
+// whole catalog, not a shape that changes as counters first tick.
+func (s Snapshot) Points() []Point {
+	c := func(name, unit string, v uint64) Point { return Point{Name: name, Unit: unit, Value: v} }
+	d := func(name, unit string, dist Distribution, scale float64) Point {
+		dd := dist
+		return Point{Name: name, Unit: unit, Dist: &dd, Scale: scale}
+	}
+	pts := []Point{
+		c("reads_get_optimistic_total", "ops", s.Reads.GetOptimistic),
+		c("reads_get_latched_total", "ops", s.Reads.GetLatched),
+		c("reads_get_probe_fails_total", "ops", s.Reads.GetProbeFails),
+		c("reads_scan_chunks_optimistic_total", "chunks", s.Reads.ScanChunksOptimistic),
+		c("reads_scan_chunks_latched_total", "chunks", s.Reads.ScanChunksLatched),
+		c("reads_scan_probe_fails_total", "chunks", s.Reads.ScanProbeFails),
+		c("updates_combined_ops_total", "ops", s.Updates.CombinedOps),
+		c("updates_deferred_batches_total", "batches", s.Updates.DeferredBatches),
+		d("updates_drain_size_ops", "ops", s.Updates.DrainSize, 0),
+		c("rebalance_local_total", "rebalances", s.Rebalance.Local),
+		c("rebalance_global_total", "rebalances", s.Rebalance.Global),
+		c("rebalance_resizes_total", "resizes", s.Rebalance.Resizes),
+		d("rebalance_window_gates", "gates", s.Rebalance.WindowGates, 0),
+		d("rebalance_duration_seconds", "seconds", s.Rebalance.RebalanceNanos, 1e-9),
+		d("resize_duration_seconds", "seconds", s.Rebalance.ResizeNanos, 1e-9),
+		c("epoch_reclaimed_total", "snapshots", s.Rebalance.EpochReclaimed),
+	}
+	if s.Durable {
+		pts = append(pts,
+			c("wal_appends_total", "records", s.WAL.Appends),
+			c("wal_append_bytes_total", "bytes", s.WAL.AppendBytes),
+			c("wal_rotations_total", "rotations", s.WAL.Rotations),
+			c("wal_fsyncs_total", "fsyncs", s.WAL.Fsyncs),
+			d("wal_fsync_duration_seconds", "seconds", s.WAL.FsyncNanos, 1e-9),
+			d("wal_group_commit_records", "records", s.WAL.GroupCommitRecords, 0),
+			c("checkpoint_snapshots_total", "snapshots", s.Checkpoint.Snapshots),
+			c("checkpoint_auto_compactions_total", "compactions", s.Checkpoint.AutoCompactions),
+			c("checkpoint_pairs_written_total", "pairs", s.Checkpoint.PairsWritten),
+			c("checkpoint_bytes_written_total", "bytes", s.Checkpoint.BytesWritten),
+			d("checkpoint_duration_seconds", "seconds", s.Checkpoint.SnapshotNanos, 1e-9),
+			c("recovery_runs_total", "recoveries", s.Recovery.Recoveries),
+			c("recovery_snapshot_pairs_total", "pairs", s.Recovery.SnapshotPairs),
+			c("recovery_snapshot_bytes_total", "bytes", s.Recovery.SnapshotBytes),
+			Point{Name: "recovery_snapshot_load_seconds", Unit: "seconds", Value: s.Recovery.SnapshotLoadNanos, Scale: 1e-9, Gauge: true},
+			c("recovery_wal_records_total", "records", s.Recovery.WALRecords),
+			Point{Name: "recovery_wal_replay_seconds", Unit: "seconds", Value: s.Recovery.WALReplayNanos, Scale: 1e-9, Gauge: true},
+		)
+	}
+	for i, sh := range s.Shards {
+		lbl := map[string]string{"shard": fmt.Sprint(i)}
+		pts = append(pts,
+			Point{Name: "shard_ops_total", Unit: "ops", Labels: lbl, Value: sh.Ops},
+			Point{Name: "shard_batch_keys_total", Unit: "keys", Labels: lbl, Value: sh.BatchKeys},
+		)
+	}
+	return pts
+}
+
+// WritePrometheus writes the snapshot in Prometheus text exposition format
+// (version 0.0.4), hand-rolled to keep the module dependency-free. Scalars
+// become counters (or gauges), distributions become native histogram
+// series: cumulative `_bucket{le="..."}` plus `_sum` and `_count`, with
+// nanosecond distributions scaled to seconds via Point.Scale.
+func WritePrometheus(w io.Writer, prefix string, s Snapshot) error {
+	if prefix != "" && !strings.HasSuffix(prefix, "_") {
+		prefix += "_"
+	}
+	// The text format requires all series of one metric family to be
+	// contiguous; shard points with the same name arrive adjacent already,
+	// but emit TYPE headers once per name regardless.
+	typed := make(map[string]bool)
+	ew := &errWriter{w: w}
+	for _, p := range s.Points() {
+		name := prefix + p.Name
+		kind := "counter"
+		if p.Gauge {
+			kind = "gauge"
+		}
+		if p.Dist != nil {
+			kind = "histogram"
+		}
+		if !typed[name] {
+			typed[name] = true
+			fmt.Fprintf(ew, "# TYPE %s %s\n", name, kind)
+		}
+		scale := p.Scale
+		if scale == 0 {
+			scale = 1
+		}
+		if p.Dist == nil {
+			fmt.Fprintf(ew, "%s%s %s\n", name, labelString(p.Labels, ""), formatScaled(p.Value, scale))
+			continue
+		}
+		var cum uint64
+		for _, b := range p.Dist.Buckets {
+			cum += b.N
+			fmt.Fprintf(ew, "%s_bucket%s %d\n", name, labelString(p.Labels, formatScaled(b.Le, scale)), cum)
+		}
+		fmt.Fprintf(ew, "%s_bucket%s %d\n", name, labelString(p.Labels, "+Inf"), p.Dist.Count)
+		fmt.Fprintf(ew, "%s_sum%s %s\n", name, labelString(p.Labels, ""), formatScaled(p.Dist.Sum, scale))
+		fmt.Fprintf(ew, "%s_count%s %d\n", name, labelString(p.Labels, ""), p.Dist.Count)
+	}
+	return ew.err
+}
+
+// labelString renders a label set ({shard="3",le="0.001"} or empty). le is
+// appended last when non-empty, per Prometheus histogram convention.
+func labelString(labels map[string]string, le string) string {
+	if len(labels) == 0 && le == "" {
+		return ""
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, labels[k])
+	}
+	if le != "" {
+		if len(keys) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "le=%q", le)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatScaled renders v (optionally scaled, e.g. ns→s) without trailing
+// float noise for the scale==1 integer case.
+func formatScaled(v uint64, scale float64) string {
+	if scale == 1 {
+		return fmt.Sprintf("%d", v)
+	}
+	return fmt.Sprintf("%g", float64(v)*scale)
+}
+
+// errWriter latches the first write error so the exposition loop doesn't
+// need two dozen error checks.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return len(p), nil
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}

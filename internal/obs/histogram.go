@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// histBuckets is the bucket count of a Histogram: one per possible
+// bits.Len64 result (0 for v == 0, up to 64), i.e. power-of-two bucket
+// boundaries. Log2 bucketing costs one LZCNT on the observe path and needs
+// no configuration: the same histogram shape serves nanosecond latencies,
+// byte sizes and op counts.
+const histBuckets = 65
+
+// Histogram is a concurrent log2-bucketed histogram. Observe places v in
+// bucket bits.Len64(v), so bucket i (i >= 1) covers [2^(i-1), 2^i - 1] and
+// bucket 0 covers exactly 0. The zero value is ready to use. Like Counter,
+// it is updated with plain atomics and snapshotted racily: a snapshot taken
+// under concurrent observes is approximate, and exact once writers quiesce.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if cur >= v || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(v)].Add(1)
+}
+
+// ObserveDuration records a duration in nanoseconds (negative clamps to 0).
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Snapshot copies the histogram into a Distribution, dropping empty
+// buckets. Safe on a nil receiver (returns the zero Distribution), so
+// disabled-metrics owners can snapshot unconditionally.
+func (h *Histogram) Snapshot() Distribution {
+	var d Distribution
+	if h == nil {
+		return d
+	}
+	d.Count = h.count.Load()
+	d.Sum = h.sum.Load()
+	d.Max = h.max.Load()
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			d.Buckets = append(d.Buckets, HistBucket{Le: bucketBound(i), N: n})
+		}
+	}
+	return d
+}
+
+// bucketBound is the inclusive upper bound of bucket i: 0, 1, 3, 7, ...,
+// 2^i - 1 (saturating at MaxUint64 for i = 64).
+func bucketBound(i int) uint64 {
+	if i >= 64 {
+		return math.MaxUint64
+	}
+	return 1<<uint(i) - 1
+}
+
+// HistBucket is one non-empty bucket of a Distribution: N observations
+// with value <= Le (and greater than the previous bucket's bound).
+type HistBucket struct {
+	Le uint64 `json:"le"`
+	N  uint64 `json:"n"`
+}
+
+// Distribution is the immutable snapshot of a Histogram, embedded in the
+// Stats snapshot types. Buckets hold only the non-empty log2 buckets in
+// ascending bound order.
+type Distribution struct {
+	Count   uint64       `json:"count"`
+	Sum     uint64       `json:"sum"`
+	Max     uint64       `json:"max"`
+	Buckets []HistBucket `json:"buckets,omitempty"`
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (d Distribution) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return float64(d.Sum) / float64(d.Count)
+}
+
+// merge folds o into d (sharded stores sum their shards' snapshots).
+// Bucket lists are merged by bound; Max takes the larger.
+func (d Distribution) merge(o Distribution) Distribution {
+	d.Count += o.Count
+	d.Sum += o.Sum
+	if o.Max > d.Max {
+		d.Max = o.Max
+	}
+	if len(o.Buckets) == 0 {
+		return d
+	}
+	if len(d.Buckets) == 0 {
+		d.Buckets = append([]HistBucket(nil), o.Buckets...)
+		return d
+	}
+	merged := make([]HistBucket, 0, len(d.Buckets)+len(o.Buckets))
+	i, j := 0, 0
+	for i < len(d.Buckets) && j < len(o.Buckets) {
+		switch {
+		case d.Buckets[i].Le < o.Buckets[j].Le:
+			merged = append(merged, d.Buckets[i])
+			i++
+		case d.Buckets[i].Le > o.Buckets[j].Le:
+			merged = append(merged, o.Buckets[j])
+			j++
+		default:
+			merged = append(merged, HistBucket{Le: d.Buckets[i].Le, N: d.Buckets[i].N + o.Buckets[j].N})
+			i++
+			j++
+		}
+	}
+	merged = append(merged, d.Buckets[i:]...)
+	merged = append(merged, o.Buckets[j:]...)
+	d.Buckets = merged
+	return d
+}

@@ -1,0 +1,286 @@
+package obs
+
+// The live metric sets. Each layer of the store owns one (core.PMA a
+// *CoreMetrics, persist.Log a *WALMetrics, pmago.DB a *CheckpointMetrics),
+// nil when metrics are disabled — every instrumentation site guards with a
+// single nil check, which is the entire disabled-mode cost. Snapshot
+// methods are nil-safe for the same reason: a disabled layer reports zero
+// counters rather than forcing callers to branch.
+
+// CoreMetrics instruments the in-memory PMA: the seqlock read path, the
+// Section 3.5 combining queues, and the rebalancer.
+type CoreMetrics struct {
+	// Read path (read.go). A Get or Scan chunk is counted exactly once,
+	// at its serve point: Optimistic when a seqlock-validated snapshot
+	// was returned, Latched when it was served under the shared latch
+	// (after optimistic validation kept failing, or with the optimistic
+	// path disabled). ProbeFails counts individual failed seqlock
+	// validations, so fallbacks are bounded by probe failures.
+	GetOptimistic        Counter
+	GetLatched           Counter
+	GetProbeFails        Counter
+	ScanChunksOptimistic Counter
+	ScanChunksLatched    Counter
+	ScanProbeFails       Counter
+
+	// Update combining (write.go, async.go). CombinedOps counts updates
+	// absorbed into another writer's queue (the op never latched its
+	// gate); DrainSize observes the ops taken per queue detach, on every
+	// consumption path (active-writer drain rounds, rebalancer pickups,
+	// resize absorption, Flush sweeps) — so, quiesced, CombinedOps <=
+	// DrainSize.Sum + queued. DeferredBatches counts batches parked at
+	// the rebalancer by the tdelay rate limit.
+	CombinedOps     Counter
+	DeferredBatches Counter
+	DrainSize       Histogram
+
+	// Rebalancer (gate.go local path, rebalancer.go global path).
+	// RebalanceWindow observes the window width in gates per global
+	// rebalance — with log2 buckets that is exactly the escalation-level
+	// distribution (a window of 2^k gates lands in bucket k+1).
+	LocalRebalances  Counter
+	GlobalRebalances Counter
+	Resizes          Counter
+	RebalanceWindow  Histogram
+	RebalanceNanos   Histogram
+	ResizeNanos      Histogram
+}
+
+// ReadStats is the read-path section of a snapshot.
+type ReadStats struct {
+	GetOptimistic        uint64 `json:"get_optimistic"`
+	GetLatched           uint64 `json:"get_latched"`
+	GetProbeFails        uint64 `json:"get_probe_fails"`
+	ScanChunksOptimistic uint64 `json:"scan_chunks_optimistic"`
+	ScanChunksLatched    uint64 `json:"scan_chunks_latched"`
+	ScanProbeFails       uint64 `json:"scan_probe_fails"`
+}
+
+// UpdateStats is the combining-queue section of a snapshot.
+type UpdateStats struct {
+	CombinedOps     uint64       `json:"combined_ops"`
+	DeferredBatches uint64       `json:"deferred_batches"`
+	DrainSize       Distribution `json:"drain_size"`
+}
+
+// RebalanceStats is the rebalancer section of a snapshot.
+type RebalanceStats struct {
+	Local          uint64       `json:"local"`
+	Global         uint64       `json:"global"`
+	Resizes        uint64       `json:"resizes"`
+	WindowGates    Distribution `json:"window_gates"`
+	RebalanceNanos Distribution `json:"rebalance_nanos"`
+	ResizeNanos    Distribution `json:"resize_nanos"`
+	EpochReclaimed uint64       `json:"epoch_reclaimed"`
+}
+
+// CoreSnapshot is one PMA's counters at a point in time.
+type CoreSnapshot struct {
+	Reads     ReadStats      `json:"reads"`
+	Updates   UpdateStats    `json:"updates"`
+	Rebalance RebalanceStats `json:"rebalance"`
+}
+
+// Snapshot copies the live counters. Nil-safe: a disabled core reports
+// zeros. EpochReclaimed is not a metric here — the epoch manager owns it —
+// so the caller fills it in afterwards.
+func (m *CoreMetrics) Snapshot() CoreSnapshot {
+	if m == nil {
+		return CoreSnapshot{}
+	}
+	return CoreSnapshot{
+		Reads: ReadStats{
+			GetOptimistic:        m.GetOptimistic.Load(),
+			GetLatched:           m.GetLatched.Load(),
+			GetProbeFails:        m.GetProbeFails.Load(),
+			ScanChunksOptimistic: m.ScanChunksOptimistic.Load(),
+			ScanChunksLatched:    m.ScanChunksLatched.Load(),
+			ScanProbeFails:       m.ScanProbeFails.Load(),
+		},
+		Updates: UpdateStats{
+			CombinedOps:     m.CombinedOps.Load(),
+			DeferredBatches: m.DeferredBatches.Load(),
+			DrainSize:       m.DrainSize.Snapshot(),
+		},
+		Rebalance: RebalanceStats{
+			Local:          m.LocalRebalances.Load(),
+			Global:         m.GlobalRebalances.Load(),
+			Resizes:        m.Resizes.Load(),
+			WindowGates:    m.RebalanceWindow.Snapshot(),
+			RebalanceNanos: m.RebalanceNanos.Snapshot(),
+			ResizeNanos:    m.ResizeNanos.Snapshot(),
+		},
+	}
+}
+
+// merge sums o into s.
+func (s CoreSnapshot) merge(o CoreSnapshot) CoreSnapshot {
+	s.Reads.GetOptimistic += o.Reads.GetOptimistic
+	s.Reads.GetLatched += o.Reads.GetLatched
+	s.Reads.GetProbeFails += o.Reads.GetProbeFails
+	s.Reads.ScanChunksOptimistic += o.Reads.ScanChunksOptimistic
+	s.Reads.ScanChunksLatched += o.Reads.ScanChunksLatched
+	s.Reads.ScanProbeFails += o.Reads.ScanProbeFails
+	s.Updates.CombinedOps += o.Updates.CombinedOps
+	s.Updates.DeferredBatches += o.Updates.DeferredBatches
+	s.Updates.DrainSize = s.Updates.DrainSize.merge(o.Updates.DrainSize)
+	s.Rebalance.Local += o.Rebalance.Local
+	s.Rebalance.Global += o.Rebalance.Global
+	s.Rebalance.Resizes += o.Rebalance.Resizes
+	s.Rebalance.WindowGates = s.Rebalance.WindowGates.merge(o.Rebalance.WindowGates)
+	s.Rebalance.RebalanceNanos = s.Rebalance.RebalanceNanos.merge(o.Rebalance.RebalanceNanos)
+	s.Rebalance.ResizeNanos = s.Rebalance.ResizeNanos.merge(o.Rebalance.ResizeNanos)
+	s.Rebalance.EpochReclaimed += o.Rebalance.EpochReclaimed
+	return s
+}
+
+// WALMetrics instruments the write-ahead log (persist/wal.go).
+type WALMetrics struct {
+	// Appends/AppendBytes count records (and their framed bytes) handed
+	// to the kernel. Rotations counts segment boundaries. Fsyncs counts
+	// actual File.Sync calls (group commit means this is typically far
+	// below Appends under FsyncAlways); FsyncNanos is their latency, and
+	// GroupCommit observes how many appended records each fsync newly
+	// made durable — the group-commit batch size.
+	Appends     Counter
+	AppendBytes Counter
+	Rotations   Counter
+	Fsyncs      Counter
+	FsyncNanos  Histogram
+	GroupCommit Histogram
+}
+
+// WALSnapshot is the WAL section of a snapshot.
+type WALSnapshot struct {
+	Appends            uint64       `json:"appends"`
+	AppendBytes        uint64       `json:"append_bytes"`
+	Rotations          uint64       `json:"rotations"`
+	Fsyncs             uint64       `json:"fsyncs"`
+	FsyncNanos         Distribution `json:"fsync_nanos"`
+	GroupCommitRecords Distribution `json:"group_commit_records"`
+}
+
+// Snapshot copies the live counters (nil-safe).
+func (m *WALMetrics) Snapshot() WALSnapshot {
+	if m == nil {
+		return WALSnapshot{}
+	}
+	return WALSnapshot{
+		Appends:            m.Appends.Load(),
+		AppendBytes:        m.AppendBytes.Load(),
+		Rotations:          m.Rotations.Load(),
+		Fsyncs:             m.Fsyncs.Load(),
+		FsyncNanos:         m.FsyncNanos.Snapshot(),
+		GroupCommitRecords: m.GroupCommit.Snapshot(),
+	}
+}
+
+func (s WALSnapshot) merge(o WALSnapshot) WALSnapshot {
+	s.Appends += o.Appends
+	s.AppendBytes += o.AppendBytes
+	s.Rotations += o.Rotations
+	s.Fsyncs += o.Fsyncs
+	s.FsyncNanos = s.FsyncNanos.merge(o.FsyncNanos)
+	s.GroupCommitRecords = s.GroupCommitRecords.merge(o.GroupCommitRecords)
+	return s
+}
+
+// CheckpointMetrics instruments snapshots/compaction (pmago durable layer).
+type CheckpointMetrics struct {
+	// Snapshots counts completed checkpoints; AutoCompactions the subset
+	// triggered by the WAL-growth heuristic rather than an explicit
+	// Snapshot call. Pairs/Bytes accumulate what the checkpoint files
+	// contained; SnapshotNanos times the whole checkpoint (cut + scan +
+	// write + publish).
+	Snapshots       Counter
+	AutoCompactions Counter
+	PairsWritten    Counter
+	BytesWritten    Counter
+	SnapshotNanos   Histogram
+}
+
+// CheckpointSnapshot is the checkpoint section of a snapshot.
+type CheckpointSnapshot struct {
+	Snapshots       uint64       `json:"snapshots"`
+	AutoCompactions uint64       `json:"auto_compactions"`
+	PairsWritten    uint64       `json:"pairs_written"`
+	BytesWritten    uint64       `json:"bytes_written"`
+	SnapshotNanos   Distribution `json:"snapshot_nanos"`
+}
+
+// Snapshot copies the live counters (nil-safe).
+func (m *CheckpointMetrics) Snapshot() CheckpointSnapshot {
+	if m == nil {
+		return CheckpointSnapshot{}
+	}
+	return CheckpointSnapshot{
+		Snapshots:       m.Snapshots.Load(),
+		AutoCompactions: m.AutoCompactions.Load(),
+		PairsWritten:    m.PairsWritten.Load(),
+		BytesWritten:    m.BytesWritten.Load(),
+		SnapshotNanos:   m.SnapshotNanos.Snapshot(),
+	}
+}
+
+func (s CheckpointSnapshot) merge(o CheckpointSnapshot) CheckpointSnapshot {
+	s.Snapshots += o.Snapshots
+	s.AutoCompactions += o.AutoCompactions
+	s.PairsWritten += o.PairsWritten
+	s.BytesWritten += o.BytesWritten
+	s.SnapshotNanos = s.SnapshotNanos.merge(o.SnapshotNanos)
+	return s
+}
+
+// RecoverySnapshot records what the last Open had to do to restore the
+// store. It is written once, before the store is shared, so plain fields
+// suffice; a sharded store's sections sum across shards (Recoveries then
+// counts the shards).
+type RecoverySnapshot struct {
+	Recoveries        uint64 `json:"recoveries"`
+	SnapshotPairs     uint64 `json:"snapshot_pairs"`
+	SnapshotBytes     uint64 `json:"snapshot_bytes"`
+	SnapshotLoadNanos uint64 `json:"snapshot_load_nanos"`
+	WALRecords        uint64 `json:"wal_records"`
+	WALReplayNanos    uint64 `json:"wal_replay_nanos"`
+}
+
+func (s RecoverySnapshot) merge(o RecoverySnapshot) RecoverySnapshot {
+	s.Recoveries += o.Recoveries
+	s.SnapshotPairs += o.SnapshotPairs
+	s.SnapshotBytes += o.SnapshotBytes
+	s.SnapshotLoadNanos += o.SnapshotLoadNanos
+	s.WALRecords += o.WALRecords
+	s.WALReplayNanos += o.WALReplayNanos
+	return s
+}
+
+// ShardStats is one shard's routing counters in a sharded store's snapshot.
+type ShardStats struct {
+	Ops       uint64 `json:"ops"`        // point ops (Put/Get/Delete) routed here
+	BatchKeys uint64 `json:"batch_keys"` // batch keys routed here
+}
+
+// Snapshot is the full typed metrics snapshot returned by Stats() at every
+// level of the public API. In-memory stores leave the durable sections
+// zero; sharded stores sum their shards and add the per-shard routing
+// section.
+type Snapshot struct {
+	CoreSnapshot
+	Durable    bool               `json:"durable"`
+	WAL        WALSnapshot        `json:"wal"`
+	Checkpoint CheckpointSnapshot `json:"checkpoint"`
+	Recovery   RecoverySnapshot   `json:"recovery"`
+	Shards     []ShardStats       `json:"shards,omitempty"`
+}
+
+// Merge sums o into s, returning the result (sharded aggregation). The
+// per-shard routing sections are concatenated in order.
+func (s Snapshot) Merge(o Snapshot) Snapshot {
+	s.CoreSnapshot = s.CoreSnapshot.merge(o.CoreSnapshot)
+	s.Durable = s.Durable || o.Durable
+	s.WAL = s.WAL.merge(o.WAL)
+	s.Checkpoint = s.Checkpoint.merge(o.Checkpoint)
+	s.Recovery = s.Recovery.merge(o.Recovery)
+	s.Shards = append(s.Shards, o.Shards...)
+	return s
+}

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"os"
 	"time"
+
+	"pmago/internal/obs"
 )
 
 // FsyncPolicy selects when appended WAL records are forced to stable
@@ -83,6 +85,19 @@ type Options struct {
 	// SnapshotBlockEntries is the number of pairs per snapshot block
 	// (default 8192); each block carries its own checksum.
 	SnapshotBlockEntries int
+	// Metrics receives the log's counters and latency histograms when
+	// non-nil (the owning store allocates and snapshots it; see
+	// obs.WALMetrics). Nil disables WAL metrics at the cost of one nil
+	// check per instrumentation site.
+	Metrics *obs.WALMetrics
+	// Events receives OnFsyncStall callbacks. Stall events can fire from
+	// the rotation path, which holds the log's append mutex — the hook
+	// must be fast and must not call back into the log.
+	Events obs.EventHook
+	// FsyncStallThreshold is the File.Sync duration at or above which an
+	// OnFsyncStall event fires (default 100ms). Only consulted when
+	// Events is non-nil.
+	FsyncStallThreshold time.Duration
 }
 
 // DefaultOptions returns the defaults described on each field.
@@ -112,6 +127,9 @@ func (o Options) normalize() Options {
 	}
 	if o.SnapshotBlockEntries <= 0 {
 		o.SnapshotBlockEntries = def.SnapshotBlockEntries
+	}
+	if o.FsyncStallThreshold <= 0 {
+		o.FsyncStallThreshold = 100 * time.Millisecond
 	}
 	return o
 }

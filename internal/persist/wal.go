@@ -10,6 +10,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"pmago/internal/obs"
 )
 
 // Log is the segmented write-ahead log. Appends go to the active segment;
@@ -34,10 +36,16 @@ type Log struct {
 	live    map[uint64]int64 // sizes of all live segments, active included
 	scratch []byte           // reusable encode buffer
 	written uint64           // total bytes appended this session
+	recs    uint64           // total records appended this session
 	err     error            // sticky write error: the log is dead once set
 
 	synced atomic.Uint64
 	syncMu sync.Mutex // serialises group-commit fsyncs
+
+	// recsSynced mirrors synced in record units, purely for metrics: the
+	// amount each fsync advances it is that fsync's group-commit batch
+	// size. Only maintained when o.Metrics is set.
+	recsSynced atomic.Uint64
 
 	stop chan struct{} // interval-fsync loop, nil unless FsyncInterval
 	done sync.WaitGroup
@@ -198,6 +206,13 @@ func (w *Log) append(encode func([]byte) []byte) error {
 	w.segSize += int64(len(rec))
 	w.live[w.seq] = w.segSize
 	w.written += uint64(len(rec))
+	w.recs++
+	// Counted under mu, before any fsync can cover the record, so
+	// GroupCommit.Sum <= Appends holds even against a concurrent Stats.
+	if m := w.o.Metrics; m != nil {
+		m.Appends.Inc()
+		m.AppendBytes.Add(uint64(len(rec)))
+	}
 	target := w.written
 	w.mu.Unlock()
 
@@ -211,11 +226,26 @@ func (w *Log) append(encode func([]byte) []byte) error {
 // Called with mu held. Because the outgoing segment is fsynced, synced can
 // jump to everything written so far.
 func (w *Log) rotateLocked() error {
+	var t0 time.Time
+	track := w.o.Metrics != nil || w.o.Events != nil
+	if track {
+		t0 = time.Now()
+	}
 	if err := w.f.Sync(); err != nil {
 		w.err = fmt.Errorf("persist: wal rotate sync: %w", err)
 		return w.err
 	}
 	advanceMax(&w.synced, w.written)
+	if track {
+		// Every appended record is in this or an older (already fsynced)
+		// segment, so this fsync covers all w.recs records. The observe
+		// runs with mu held — acceptable, because both the metrics update
+		// and any stall hook are required to be fast.
+		w.observeFsync(time.Since(t0), w.recs)
+	}
+	if m := w.o.Metrics; m != nil {
+		m.Rotations.Inc()
+	}
 	if err := w.f.Close(); err != nil {
 		w.err = fmt.Errorf("persist: wal rotate close: %w", err)
 		return w.err
@@ -273,10 +303,15 @@ func (w *Log) syncTo(target uint64) error {
 		return nil
 	}
 	w.mu.Lock()
-	f, written, err := w.f, w.written, w.err
+	f, written, recs, err := w.f, w.written, w.recs, w.err
 	w.mu.Unlock()
 	if err != nil {
 		return err
+	}
+	var t0 time.Time
+	track := w.o.Metrics != nil || w.o.Events != nil
+	if track {
+		t0 = time.Now()
 	}
 	if err := f.Sync(); err != nil {
 		// The segment may have been rotated (and fsynced) under us,
@@ -291,7 +326,27 @@ func (w *Log) syncTo(target uint64) error {
 		return err
 	}
 	advanceMax(&w.synced, written)
+	if track {
+		w.observeFsync(time.Since(t0), recs)
+	}
 	return nil
+}
+
+// observeFsync records one completed File.Sync: its latency, the records it
+// newly made durable (the group-commit batch size), and a stall event when
+// it breached the threshold. Called from syncTo (no locks held) and from
+// rotateLocked (mu held) — hooks must honour the EventHook latency contract.
+func (w *Log) observeFsync(d time.Duration, recsAtSync uint64) {
+	if m := w.o.Metrics; m != nil {
+		m.Fsyncs.Inc()
+		m.FsyncNanos.ObserveDuration(d)
+		if delta := advanceMaxDelta(&w.recsSynced, recsAtSync); delta > 0 {
+			m.GroupCommit.Observe(delta)
+		}
+	}
+	if h := w.o.Events; h != nil && d >= w.o.FsyncStallThreshold {
+		h.OnFsyncStall(obs.FsyncStallEvent{Duration: d, Threshold: w.o.FsyncStallThreshold})
+	}
 }
 
 func advanceMax(a *atomic.Uint64, v uint64) {
@@ -299,6 +354,21 @@ func advanceMax(a *atomic.Uint64, v uint64) {
 		cur := a.Load()
 		if cur >= v || a.CompareAndSwap(cur, v) {
 			return
+		}
+	}
+}
+
+// advanceMaxDelta is advanceMax returning how far it moved the value (0 when
+// v was already covered). Concurrent callers see disjoint deltas, so the
+// deltas sum to the high-water mark.
+func advanceMaxDelta(a *atomic.Uint64, v uint64) uint64 {
+	for {
+		cur := a.Load()
+		if cur >= v {
+			return 0
+		}
+		if a.CompareAndSwap(cur, v) {
+			return v - cur
 		}
 	}
 }

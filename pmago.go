@@ -31,9 +31,6 @@ const (
 	ModeBatch = core.ModeBatch
 )
 
-// Stats exposes the structural-event counters of the store.
-type Stats = core.Stats
-
 // FsyncPolicy selects when WAL appends of a durable store (Open) reach
 // stable storage; see the constants for the crash guarantee each buys.
 type FsyncPolicy = persist.FsyncPolicy
@@ -205,9 +202,10 @@ func (p *PMA) Capacity() int { return p.c.Capacity() }
 // quiescent Flush, reads observe all previously accepted updates.
 func (p *PMA) Flush() { p.c.Flush() }
 
-// Stats returns structural-event counters (rebalances, resizes, combined
-// updates, reclaimed states).
-func (p *PMA) Stats() Stats { return p.c.Stats() }
+// Stats returns the metrics snapshot: seqlock read-path counters, combining
+// and rebalancer activity, and epoch reclamation. The durable sections stay
+// zero for an in-memory store.
+func (p *PMA) Stats() Stats { return Stats{CoreSnapshot: p.c.Stats()} }
 
 // Validate checks every structural invariant; it is meant for tests and
 // debugging and must run without concurrent updates.

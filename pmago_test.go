@@ -84,7 +84,7 @@ func TestOptionsApply(t *testing.T) {
 	if p.Len() != 10_000 {
 		t.Fatalf("Len = %d", p.Len())
 	}
-	if p.Stats().Resizes == 0 {
+	if p.Stats().Rebalance.Resizes == 0 {
 		t.Fatal("no resizes despite small segments")
 	}
 }

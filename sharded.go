@@ -10,6 +10,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"pmago/internal/obs"
 	"pmago/internal/persist"
 	"pmago/internal/placement"
 )
@@ -52,6 +53,23 @@ type Sharded struct {
 	dir     string
 	unlock  func()
 	closed  atomic.Bool
+
+	// routedOps/routedBatch count the point ops and batch keys routed to
+	// each shard — the observed placement balance in request (rather than
+	// resident-key) terms, reported as Stats().Shards. Nil with
+	// WithoutMetrics.
+	routedOps   []obs.Counter
+	routedBatch []obs.Counter
+}
+
+// initRouting allocates the per-shard routing counters unless metrics are
+// disabled. Called by every constructor after the placement is resolved.
+func (s *Sharded) initRouting(cfg config) {
+	if cfg.core.DisableMetrics {
+		return
+	}
+	s.routedOps = make([]obs.Counter, s.place.Shards())
+	s.routedBatch = make([]obs.Counter, s.place.Shards())
 }
 
 // shardStore is the per-shard surface Sharded routes to; both *PMA and *DB
@@ -188,6 +206,7 @@ func NewSharded(opts ...Option) (*Sharded, error) {
 		return nil, err
 	}
 	s := &Sharded{place: place, ordered: place.Ordered()}
+	s.initRouting(cfg)
 	for i := 0; i < place.Shards(); i++ {
 		p, err := New(opts...)
 		if err != nil {
@@ -218,6 +237,7 @@ func BulkLoadSharded(keys, vals []int64, opts ...Option) (*Sharded, error) {
 	}
 	partK, partV := partition(place, keys, vals)
 	s := &Sharded{place: place, ordered: place.Ordered()}
+	s.initRouting(cfg)
 	s.mems = make([]*PMA, place.Shards())
 	s.stores = make([]shardStore, place.Shards())
 	errs := make([]error, place.Shards())
@@ -328,6 +348,7 @@ func OpenSharded(dir string, opts ...Option) (*Sharded, error) {
 	}
 
 	s := &Sharded{place: place, ordered: place.Ordered(), dir: dir, unlock: unlock}
+	s.initRouting(cfg)
 	s.dbs = make([]*DB, place.Shards())
 	s.stores = make([]shardStore, place.Shards())
 	errs := make([]error, place.Shards())
@@ -396,19 +417,31 @@ func (s *Sharded) checkOpen() {
 // owning shard; durable per DB's contract when opened with OpenSharded).
 func (s *Sharded) Put(k, v int64) {
 	s.checkOpen()
-	s.stores[s.place.Shard(k)].Put(k, v)
+	i := s.place.Shard(k)
+	if s.routedOps != nil {
+		s.routedOps[i].Inc()
+	}
+	s.stores[i].Put(k, v)
 }
 
 // Get returns the value stored under k.
 func (s *Sharded) Get(k int64) (int64, bool) {
 	s.checkOpen()
-	return s.stores[s.place.Shard(k)].Get(k)
+	i := s.place.Shard(k)
+	if s.routedOps != nil {
+		s.routedOps[i].Inc()
+	}
+	return s.stores[i].Get(k)
 }
 
 // Delete removes k, reporting whether an element was removed.
 func (s *Sharded) Delete(k int64) bool {
 	s.checkOpen()
-	return s.stores[s.place.Shard(k)].Delete(k)
+	i := s.place.Shard(k)
+	if s.routedOps != nil {
+		s.routedOps[i].Inc()
+	}
+	return s.stores[i].Delete(k)
 }
 
 // PutBatch upserts all pairs: the batch is partitioned by placement and each
@@ -424,6 +457,9 @@ func (s *Sharded) PutBatch(keys, vals []int64) {
 	}
 	partK, partV := partition(s.place, keys, vals)
 	s.eachNonEmpty(partK, func(i int) {
+		if s.routedBatch != nil {
+			s.routedBatch[i].Add(uint64(len(partK[i])))
+		}
 		s.stores[i].PutBatch(partK[i], partV[i])
 	})
 }
@@ -436,6 +472,9 @@ func (s *Sharded) DeleteBatch(keys []int64) int {
 	partK, _ := partition(s.place, keys, nil)
 	var total atomic.Int64
 	s.eachNonEmpty(partK, func(i int) {
+		if s.routedBatch != nil {
+			s.routedBatch[i].Add(uint64(len(partK[i])))
+		}
 		total.Add(int64(s.stores[i].DeleteBatch(partK[i])))
 	})
 	return int(total.Load())
@@ -527,18 +566,25 @@ func (s *Sharded) ShardLens() []int {
 	return lens
 }
 
-// Stats returns the structural-event counters summed across shards.
+// Stats returns the metrics snapshot merged across shards — counters summed,
+// latency and size distributions merged bucket-wise — plus one Shards entry
+// per shard with the ops and batch keys routed to it (the placement balance
+// in request terms). On a durable sharded store Recovery.Recoveries counts
+// the shards recovered by OpenSharded.
 func (s *Sharded) Stats() Stats {
 	s.checkOpen()
 	var t Stats
 	for _, st := range s.stores {
-		st := st.Stats()
-		t.LocalRebalances += st.LocalRebalances
-		t.GlobalRebalances += st.GlobalRebalances
-		t.Resizes += st.Resizes
-		t.CombinedOps += st.CombinedOps
-		t.DeferredBatches += st.DeferredBatches
-		t.EpochReclaimed += st.EpochReclaimed
+		t = t.Merge(st.Stats())
+	}
+	if s.routedOps != nil {
+		t.Shards = make([]obs.ShardStats, len(s.stores))
+		for i := range t.Shards {
+			t.Shards[i] = obs.ShardStats{
+				Ops:       s.routedOps[i].Load(),
+				BatchKeys: s.routedBatch[i].Load(),
+			}
+		}
 	}
 	return t
 }

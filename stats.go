@@ -1,0 +1,89 @@
+package pmago
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"pmago/internal/obs"
+)
+
+// Stats is the typed metrics snapshot every store variant returns from
+// Stats(): the core section (read path, combining queues, rebalancer) is
+// always populated; Durable, WAL, Checkpoint and Recovery are filled by
+// durable stores (Open); Shards is filled by sharded stores with one
+// routing entry per shard. See the README's metric catalog and the field
+// docs in internal/obs for exact tick semantics.
+type Stats = obs.Snapshot
+
+// EventHook receives structural events — global rebalances and resizes,
+// checkpoints, recovery, fsync stalls — synchronously from store service
+// goroutines. Implementations must be fast and must not call back into the
+// store; see obs.EventHook. Install with WithEventHook.
+type EventHook = obs.EventHook
+
+// The event payloads EventHook receives; see the field docs in internal/obs.
+type (
+	RebalanceEvent  = obs.RebalanceEvent
+	CompactionEvent = obs.CompactionEvent
+	RecoveryEvent   = obs.RecoveryEvent
+	FsyncStallEvent = obs.FsyncStallEvent
+)
+
+// NewSlogHook returns an EventHook that logs events through logger
+// (slog.Default when nil): compactions and recoveries at Info, anything
+// slower than slow — and every fsync stall — at Warn. Rebalances are logged
+// only when slower than slow (they are frequent; the histograms count
+// them).
+func NewSlogHook(logger *slog.Logger, slow time.Duration) EventHook {
+	return obs.NewSlogHook(logger, slow)
+}
+
+// WithoutMetrics disables the metrics layer for this store: Stats reports
+// zeros (except the epoch-reclamation count) and every instrumentation
+// site reduces to a nil check. Metrics are on by default — their hot-path
+// cost is a striped, allocation-free counter increment.
+func WithoutMetrics() Option { return func(c *config) { c.core.DisableMetrics = true } }
+
+// WithEventHook installs h as the store's structural-event hook, covering
+// both the in-memory layer (OnRebalance) and, for durable stores, the WAL
+// and checkpoint layers (OnFsyncStall, OnCompaction, OnRecovery).
+func WithEventHook(h EventHook) Option {
+	return func(c *config) {
+		c.core.Events = h
+		c.dur.Events = h
+	}
+}
+
+// StatsSource is anything whose metrics Handler can serve: *PMA, *DB,
+// *Sharded, *Graph all implement it.
+type StatsSource interface {
+	Stats() Stats
+}
+
+// Handler returns an http.Handler exposing src's live metrics. A request
+// path ending in "/metrics" gets Prometheus text exposition (hand-rolled,
+// format version 0.0.4, metric prefix "pmago_"); any other path gets the
+// Stats snapshot as indented JSON, expvar-style. Mount it wherever the
+// operations endpoint lives:
+//
+//	mux.Handle("/debug/pmago/", pmago.Handler(db))
+//
+// Each request takes one Stats() snapshot — cheap (microseconds), safe
+// under full load, and allocation only at scrape frequency.
+func Handler(src StatsSource) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := src.Stats()
+		if strings.HasSuffix(r.URL.Path, "/metrics") {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			_ = obs.WritePrometheus(w, "pmago", st)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	})
+}
