@@ -10,6 +10,7 @@
 //	pmabench -experiment batch               # batch subsystem: PutBatch/BulkLoad vs point loops
 //	pmabench -experiment durability          # WAL fsync policies + recovery time
 //	pmabench -experiment shards              # sharded store: shard count scaling
+//	pmabench -experiment wire                # TCP front end: cross-client group commit
 //	pmabench -experiment all                 # everything, in order
 //
 // -experiment also accepts a comma-separated list (e.g. "reads,batch").
@@ -44,7 +45,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | reads | batch | durability | graph | shards | all, or a comma-separated list")
+		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | reads | batch | durability | graph | shards | wire | all, or a comma-separated list")
 		plot       = flag.String("plot", "", "figure3: a-f (empty = all); figure4: a-c (empty = all)")
 		inserts    = flag.Int("inserts", bench.DefaultScale().InsertN, "elements inserted in insert-only experiments")
 		loadN      = flag.Int("load", bench.DefaultScale().LoadN, "preloaded base size for the mixed experiments")
@@ -54,6 +55,7 @@ func main() {
 		jsonPath   = flag.String("json", "", "also write all measurements to this file as a JSON report")
 		readSecs   = flag.Float64("read-seconds", 1.0, "measured seconds per cell of the reads experiment")
 		maxShards  = flag.Int("shards", 8, "largest shard count in the shards experiment (runs powers of two up to it)")
+		maxClients = flag.Int("wire-clients", 16, "largest client count in the wire experiment (runs powers of two up to it)")
 		stats      = flag.Bool("stats", false, "print the stores' metrics snapshots and record stats_* rows in the JSON report")
 		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060) for profiling a run")
 	)
@@ -81,7 +83,7 @@ func main() {
 	// exactly one handler (no drift between the single and the all run).
 	known := []string{
 		"figure3", "figure4", "ablation-segment", "ablation-leaf",
-		"reads", "batch", "durability", "graph", "shards",
+		"reads", "batch", "durability", "graph", "shards", "wire",
 	}
 	var experiments []string
 	for _, exp := range strings.Split(*experiment, ",") {
@@ -131,6 +133,8 @@ func main() {
 			printGraph(sc, report)
 		case "shards":
 			printShards(sc, *maxShards, report, *stats)
+		case "wire":
+			printWire(sc, *maxClients, report, *stats)
 		}
 	}
 
@@ -267,6 +271,33 @@ func printShards(sc bench.Scale, maxShards int, report *bench.Report, stats bool
 			fmt.Println()
 			report.AddStats("shards", labels, r.Stats)
 		}
+	}
+	fmt.Println()
+}
+
+func printWire(sc bench.Scale, maxClients int, report *bench.Report, stats bool) {
+	fmt.Println("== Wire: framed TCP front end, durable FsyncAlways backend, cross-client group commit ==")
+	rs := bench.RunWire(sc, maxClients)
+	base := rs[0]
+	for _, r := range rs {
+		fmt.Printf("clients %2d: put %8.0f /s (%5.2fx), p50 %8s  p95 %8s  p99 %8s, commit batch avg %5.1f max %d\n",
+			r.Clients, r.PerSec, r.PerSec/base.PerSec, r.P50, r.P95, r.P99, r.BatchAvg, r.BatchMax)
+		labels := map[string]string{"clients": fmt.Sprintf("%d", r.Clients)}
+		report.Add("wire", "put", labels, "ops/s", r.PerSec)
+		report.Add("wire", "latency_p50", labels, "s", r.P50.Seconds())
+		report.Add("wire", "latency_p95", labels, "s", r.P95.Seconds())
+		report.Add("wire", "latency_p99", labels, "s", r.P99.Seconds())
+		report.Add("wire", "commit_batch_avg", labels, "ops", r.BatchAvg)
+		report.Add("wire", "commit_batch_max", labels, "ops", float64(r.BatchMax))
+	}
+	if stats {
+		// Cumulative serving-layer snapshot after the whole sweep, fetched
+		// through the protocol's own stats op.
+		last := rs[len(rs)-1].ServerStat
+		fmt.Printf("   server totals: %d conns, %s in / %s out, %d group commits, %d busy\n",
+			last.ConnsOpened, byteSize(int64(last.BytesRead)), byteSize(int64(last.BytesWritten)),
+			last.GroupCommits, last.Busy)
+		report.AddStats("wire", nil, obs.Snapshot{Server: last})
 	}
 	fmt.Println()
 }

@@ -129,6 +129,27 @@
 // NewSlogHook adapts onto log/slog. Hooks run on service goroutines and
 // must be fast and must not call back into the store.
 //
+// # Serving
+//
+// The Store interface is the package's common surface: PMA, DB and Sharded
+// all satisfy it (DurableStore adds the durability calls), so code can be
+// written once against any backend. pmago/server exposes a Store over a
+// framed binary TCP protocol with per-connection pipelining, pmago/client
+// speaks it, and cmd/pmaserve is the ready-made binary.
+//
+// The server funnels every client's write requests through one committer,
+// which coalesces whatever is concurrently in flight into a single
+// consolidated PutBatch — one WAL record, one shared fsync. The
+// acknowledgment contract: a response frame is queued only after the store
+// call covering that request returned, so whatever durability the backend
+// promises per call (e.g. FsyncAlways: on stable storage) holds per
+// acknowledged request — a response never races ahead of its own
+// durability. Ops coalesced into one commit are exactly the ones that were
+// all unacknowledged when the drain began, so they are mutually concurrent
+// and the batch is a legal serialization. Requests beyond the server's
+// bounded in-flight windows are answered with an explicit busy status
+// (clients see it as a retryable error), never buffered without bound.
+//
 // # Quick start
 //
 //	p, err := pmago.New()
@@ -150,7 +171,10 @@
 // The zero-configuration store uses the paper's evaluation setup: 128-slot
 // segments, 8 segments per gate, batch-combined asynchronous updates with a
 // 100 ms rebalance delay. Use options to select the synchronous or
-// one-by-one modes, or to retune the geometry. After Close, every data
+// one-by-one modes, or to retune the geometry. Options apply only to the
+// constructors that can honor them: passing a durability option (WithFsync,
+// WithCompactRatio, ...) to New, or a topology option (WithShards, ...) to
+// Open, is an error naming the misapplied option — never a silent no-op. After Close, every data
 // operation — Put, Get, Delete, Scan, Flush, the batch calls, and a DB's
 // Snapshot and Sync — panics with "pmago: use after Close" (read-only
 // accessors like Len and Stats still answer from the last state); Close

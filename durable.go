@@ -1,6 +1,7 @@
 package pmago
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -53,6 +54,13 @@ type DB struct {
 	// snapshot scan, and everything after it is replayed from the tail.
 	mu sync.RWMutex
 
+	// errMu guards firstErr, the first background WAL failure (append or
+	// sync). Once set the store is sick: the panic the failing writer raised
+	// may have been recovered by a serving layer, so Sync, Close and Stats
+	// all keep reporting it for health checks.
+	errMu    sync.Mutex
+	firstErr error
+
 	snapMu     sync.Mutex // one snapshot at a time
 	snapBytes  atomic.Int64
 	opTick     atomic.Uint64
@@ -75,14 +83,22 @@ type DB struct {
 // in one pass and the write-ahead-log tail is replayed on top, truncating
 // a torn final record if a crash cut an append short. In-memory options
 // (mode, geometry, ...) apply as in New; WithFsync and friends tune the
-// durability layer. A directory is owned by at most one open DB at a time,
-// enforced with an advisory flock (on unix): a second Open fails instead of
-// corrupting the live owner's files.
+// durability layer. Topology options (WithShards, ...) are rejected with an
+// error — use OpenSharded. A directory is owned by at most one open DB at a
+// time, enforced with an advisory flock (on unix): a second Open fails
+// instead of corrupting the live owner's files.
 func Open(dir string, opts ...Option) (*DB, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := resolveOptions("Open", opts, true, false)
+	if err != nil {
+		return nil, err
 	}
+	return openDB(dir, cfg)
+}
+
+// openDB builds a DB from a resolved config — the shared back end of Open
+// and the per-shard loop of OpenSharded (which consumes the topology options
+// itself and must not re-trigger their rejection).
+func openDB(dir string, cfg config) (*DB, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -203,12 +219,33 @@ func (h walHook) DeleteBatch(keys []int64) {
 // logErr turns a WAL append failure into a panic: the store cannot keep its
 // durability promise once the log stops accepting records, and the update
 // signatures (inherited from PMA) have no error channel. Disk-full and
-// similar conditions surface here.
+// similar conditions surface here. The error is recorded first, so even if
+// a serving layer recovers the panic, Err/Sync/Close/Stats keep reporting
+// the store as sick.
 func (db *DB) logErr(err error) {
 	if err != nil {
+		db.recordErr(err)
 		panic(fmt.Sprintf("pmago: write-ahead log append failed: %v", err))
 	}
 	db.maybeCompact()
+}
+
+// recordErr keeps the first background WAL failure.
+func (db *DB) recordErr(err error) {
+	db.errMu.Lock()
+	if db.firstErr == nil {
+		db.firstErr = err
+	}
+	db.errMu.Unlock()
+}
+
+// Err reports the first background WAL failure (append or sync), or nil
+// while the store is healthy. Once non-nil it stays non-nil: the log is
+// sticky-failed and no later write can be considered durable.
+func (db *DB) Err() error {
+	db.errMu.Lock()
+	defer db.errMu.Unlock()
+	return db.firstErr
 }
 
 // Put inserts or replaces k/v durably (see DB for per-policy guarantees).
@@ -241,9 +278,18 @@ func (db *DB) DeleteBatch(keys []int64) int {
 
 // Sync forces every acknowledged write to stable storage now, whatever the
 // fsync policy — a durability barrier for FsyncInterval/FsyncNone stores.
+// A store whose log failed earlier (see Err) reports that failure from every
+// Sync: the barrier cannot be provided any more.
 func (db *DB) Sync() error {
 	db.checkOpen()
-	return db.log.Sync()
+	if err := db.Err(); err != nil {
+		return fmt.Errorf("pmago: log failed earlier: %w", err)
+	}
+	err := db.log.Sync()
+	if err != nil {
+		db.recordErr(err)
+	}
+	return err
 }
 
 // Snapshot checkpoints the store: a consistent full scan is streamed into a
@@ -356,6 +402,9 @@ func (db *DB) Stats() Stats {
 	s.WAL = db.wal.Snapshot()
 	s.Checkpoint = db.ckpt.Snapshot()
 	s.Recovery = db.recovery
+	if err := db.Err(); err != nil {
+		s.Err = err.Error()
+	}
 	return s
 }
 
@@ -386,8 +435,11 @@ func (db *DB) WALBytes() int64 { return db.log.LiveBytes() }
 func (db *DB) Dir() string { return db.dir }
 
 // Close flushes pending in-memory work, forces the log to stable storage
-// and releases all resources. Close is idempotent; any other method panics
-// afterwards. As with PMA.Close, concurrent operations must have completed.
+// and releases all resources. A WAL failure recorded earlier (see Err) is
+// returned too — a caller treating a nil Close as "everything acknowledged
+// is durable" must see the broken promise. Close is idempotent; any other
+// method panics afterwards. As with PMA.Close, concurrent operations must
+// have completed.
 func (db *DB) Close() error {
 	if db.closed.Swap(true) {
 		return nil
@@ -396,7 +448,7 @@ func (db *DB) Close() error {
 	db.inner.Close() // applies pending combined updates (already logged)
 	err := db.log.Close()
 	db.unlock()
-	return err
+	return errors.Join(db.Err(), err)
 }
 
 func (db *DB) checkOpen() {

@@ -180,8 +180,9 @@ func serveMetrics(src pmago.StatsSource) {
 
 // durable persists the retained window into a pmago.Open store and proves
 // it survives a restart: batch ingest, checkpoint, WAL-tail writes, close,
-// reopen, verify.
-func durable(p *pmago.PMA) {
+// reopen, verify. It reads through the Store interface, so the window could
+// equally come from a DB or a Sharded store.
+func durable(p pmago.Store) {
 	dir, err := os.MkdirTemp("", "pmago-telemetry-*")
 	if err != nil {
 		panic(err)

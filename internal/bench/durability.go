@@ -32,10 +32,16 @@ func RunDurableWrites(n, threads int, seed int64) []DurableWriteResult {
 	}
 	type target struct {
 		name string
-		open func(dir string) (durableStore, error)
+		open func(dir string) (benchStore, error)
 	}
 	targets := []target{
-		{"memory", func(string) (durableStore, error) { return pmago.New() }},
+		{"memory", func(string) (benchStore, error) {
+			p, err := pmago.New()
+			if err != nil {
+				return benchStore{}, err
+			}
+			return benchStore{p, func() error { p.Close(); return nil }}, nil
+		}},
 		{"always", openWith(pmago.FsyncAlways)},
 		{"interval", openWith(pmago.FsyncInterval)},
 		{"none", openWith(pmago.FsyncNone)},
@@ -66,7 +72,7 @@ func RunDurableWrites(n, threads int, seed int64) []DurableWriteResult {
 		wg.Wait()
 		s.Flush()
 		elapsed := time.Since(start)
-		s.Close()
+		_ = s.close()
 		os.RemoveAll(dir)
 		results = append(results, DurableWriteResult{
 			Policy:  tg.name,
@@ -78,26 +84,22 @@ func RunDurableWrites(n, threads int, seed int64) []DurableWriteResult {
 	return results
 }
 
-// durableStore is the slice of the store surface the writes experiment
-// needs. *pmago.PMA satisfies it directly; dbStore adapts *pmago.DB, whose
-// Close returns an error.
-type durableStore interface {
-	Put(k, v int64)
-	Flush()
-	Close()
+// benchStore pairs any pmago.Store with its close function: the public
+// Store interface deliberately leaves Close to the concrete type (PMA's
+// returns nothing, DB's returns an error), so the harness carries it
+// alongside instead of re-declaring a private store interface.
+type benchStore struct {
+	pmago.Store
+	close func() error
 }
 
-type dbStore struct{ *pmago.DB }
-
-func (d dbStore) Close() { _ = d.DB.Close() }
-
-func openWith(policy pmago.FsyncPolicy) func(dir string) (durableStore, error) {
-	return func(dir string) (durableStore, error) {
+func openWith(policy pmago.FsyncPolicy) func(dir string) (benchStore, error) {
+	return func(dir string) (benchStore, error) {
 		db, err := pmago.Open(dir, pmago.WithFsync(policy), pmago.WithCompactRatio(0))
 		if err != nil {
-			return nil, err
+			return benchStore{}, err
 		}
-		return dbStore{db}, nil
+		return benchStore{db, db.Close}, nil
 	}
 }
 

@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"pmago"
+	"pmago/client"
+	"pmago/internal/obs"
+	"pmago/server"
+)
+
+// Wire experiment: what does the network front end cost, and what does
+// cross-client group commit buy back? A real server (loopback TCP, durable
+// FsyncAlways backend) is hammered by a growing number of clients, each
+// issuing strictly sequential puts — one outstanding request per client, no
+// pipelining — so every gain past one client is the serving layer
+// coalescing concurrent clients' writes into shared WAL appends and
+// fsyncs. Latency is recorded per op; the server's commit-batch
+// distribution is read back over the same stats op the protocol serves.
+
+// WireResult is one cell: `Clients` synchronous clients, `N` total puts.
+type WireResult struct {
+	Clients    int
+	N          int
+	PerSec     float64
+	P50        time.Duration
+	P95        time.Duration
+	P99        time.Duration
+	Commits    uint64  // group commits this cell
+	BatchAvg   float64 // puts per group commit
+	BatchMax   uint64
+	ServerStat *obs.ServerSnapshot // cumulative, from the final cell's fetch
+}
+
+// WireClientCounts doubles from 1 to max (always including max).
+func WireClientCounts(max int) []int {
+	if max < 1 {
+		max = 1
+	}
+	var counts []int
+	for c := 1; c < max; c *= 2 {
+		counts = append(counts, c)
+	}
+	return append(counts, max)
+}
+
+// RunWire starts one durable server and sweeps the client counts. Each
+// client performs opsPerClient sequential puts of fresh uniform keys; the
+// cell's throughput is total puts over wall time and the percentiles pool
+// every client's per-op latencies.
+func RunWire(sc Scale, maxClients int) []WireResult {
+	dir, err := os.MkdirTemp("", "pmago-wire-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	db, err := pmago.Open(dir, pmago.WithFsync(pmago.FsyncAlways), pmago.WithCompactRatio(0))
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		panic(err)
+	}
+	srv := server.New(db, server.Options{})
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+
+	// Per-client op count: enough fsync-bound round trips for stable
+	// percentiles, bounded so the single-client baseline (one fsync per op)
+	// stays tractable. Tiny CI scales shrink it via MixedN.
+	opsPerClient := sc.MixedN / 128
+	if opsPerClient > 4096 {
+		opsPerClient = 4096
+	}
+	if opsPerClient < 64 {
+		opsPerClient = 64
+	}
+
+	statsOf := func() *obs.ServerSnapshot {
+		if st := srv.Stats(); st.Server != nil {
+			return st.Server
+		}
+		return &obs.ServerSnapshot{}
+	}
+
+	var results []WireResult
+	keyBase := int64(1)
+	for _, clients := range WireClientCounts(maxClients) {
+		before := statsOf()
+		latencies := make([][]time.Duration, clients)
+		conns := make([]*client.Client, clients)
+		for i := range conns {
+			cl, err := client.Dial(addr, client.Options{Timeout: time.Minute})
+			if err != nil {
+				panic(err)
+			}
+			conns[i] = cl
+		}
+		keys, vals := freshKeys(clients*opsPerClient, sc.Seed+int64(clients))
+		start := time.Now()
+		var wg sync.WaitGroup
+		for i := 0; i < clients; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				lat := make([]time.Duration, 0, opsPerClient)
+				lo := i * opsPerClient
+				for j := 0; j < opsPerClient; j++ {
+					t0 := time.Now()
+					if err := conns[i].Put(keyBase+keys[lo+j], vals[lo+j]); err != nil {
+						panic(fmt.Sprintf("bench: wire put: %v", err))
+					}
+					lat = append(lat, time.Since(t0))
+				}
+				latencies[i] = lat
+			}(i)
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		after := statsOf()
+		for _, cl := range conns {
+			cl.Close()
+		}
+
+		var all []time.Duration
+		for _, l := range latencies {
+			all = append(all, l...)
+		}
+		sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+		pct := func(p float64) time.Duration {
+			if len(all) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(all)-1))
+			return all[i]
+		}
+		res := WireResult{
+			Clients:    clients,
+			N:          clients * opsPerClient,
+			PerSec:     float64(clients*opsPerClient) / elapsed.Seconds(),
+			P50:        pct(0.50),
+			P95:        pct(0.95),
+			P99:        pct(0.99),
+			Commits:    after.CommitOps.Count - before.CommitOps.Count,
+			BatchMax:   after.CommitOps.Max,
+			ServerStat: after,
+		}
+		if res.Commits > 0 {
+			res.BatchAvg = float64(after.CommitOps.Sum-before.CommitOps.Sum) / float64(res.Commits)
+		}
+		results = append(results, res)
+	}
+	return results
+}

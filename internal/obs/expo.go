@@ -76,6 +76,36 @@ func (s Snapshot) Points() []Point {
 			Point{Name: "shard_batch_keys_total", Unit: "keys", Labels: lbl, Value: sh.BatchKeys},
 		)
 	}
+	// Health gauge: 1 with the first background durability failure latched,
+	// 0 while healthy — the alerting-friendly mirror of the Err string.
+	var unhealthy uint64
+	if s.Err != "" {
+		unhealthy = 1
+	}
+	pts = append(pts, Point{Name: "unhealthy", Unit: "bool", Value: unhealthy, Gauge: true})
+	if sv := s.Server; sv != nil {
+		pts = append(pts,
+			c("server_conns_opened_total", "conns", sv.ConnsOpened),
+			c("server_conns_closed_total", "conns", sv.ConnsClosed),
+			c("server_bytes_read_total", "bytes", sv.BytesRead),
+			c("server_bytes_written_total", "bytes", sv.BytesWritten),
+			c("server_busy_total", "requests", sv.Busy),
+			c("server_errors_total", "requests", sv.Errors),
+			c("server_scan_chunks_total", "chunks", sv.ScanChunks),
+			c("server_scan_cancels_total", "scans", sv.ScanCancels),
+			c("server_group_commits_total", "commits", sv.GroupCommits),
+			d("server_commit_ops", "ops", sv.CommitOps, 0),
+			d("server_commit_keys", "keys", sv.CommitKeys, 0),
+		)
+		for _, op := range sv.Ops {
+			lbl := map[string]string{"op": op.Op}
+			dd := op.Nanos
+			pts = append(pts,
+				Point{Name: "server_requests_total", Unit: "requests", Labels: lbl, Value: op.Requests},
+				Point{Name: "server_request_duration_seconds", Unit: "seconds", Labels: lbl, Dist: &dd, Scale: 1e-9},
+			)
+		}
+	}
 	return pts
 }
 

@@ -271,6 +271,13 @@ type Snapshot struct {
 	Checkpoint CheckpointSnapshot `json:"checkpoint"`
 	Recovery   RecoverySnapshot   `json:"recovery"`
 	Shards     []ShardStats       `json:"shards,omitempty"`
+	// Err is the first background durability failure ("" while healthy): a
+	// WAL append or sync error makes the store sick permanently, and health
+	// checks scrape it here. Mirrored as the pmago_unhealthy gauge.
+	Err string `json:"err,omitempty"`
+	// Server is the serving-layer section, set only on snapshots taken
+	// through a pmago/server.Server.
+	Server *ServerSnapshot `json:"server,omitempty"`
 }
 
 // Merge sums o into s, returning the result (sharded aggregation). The
@@ -282,5 +289,11 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	s.Checkpoint = s.Checkpoint.merge(o.Checkpoint)
 	s.Recovery = s.Recovery.merge(o.Recovery)
 	s.Shards = append(s.Shards, o.Shards...)
+	if s.Err == "" {
+		s.Err = o.Err
+	}
+	if s.Server == nil {
+		s.Server = o.Server
+	}
 	return s
 }

@@ -1,6 +1,7 @@
 package pmago
 
 import (
+	"fmt"
 	"time"
 
 	"pmago/internal/core"
@@ -48,17 +49,41 @@ const (
 )
 
 // config bundles the in-memory PMA configuration with the durability
-// options consumed only by Open (New and BulkLoad ignore the latter) and the
-// sharding options consumed only by the Sharded constructors (see
-// sharded.go; everything else ignores them).
+// options consumed only by the durable constructors (Open, OpenSharded) and
+// the sharding options consumed only by the Sharded constructors. durOpts
+// and shardOpts record the names of the group-specific options a caller
+// applied, so a constructor the option does not apply to can reject it by
+// name instead of silently dropping it.
 type config struct {
-	core  core.Config
-	dur   persist.Options
-	shard shardConfig
+	core      core.Config
+	dur       persist.Options
+	shard     shardConfig
+	durOpts   []string
+	shardOpts []string
 }
 
 func defaultConfig() config {
 	return config{core: core.DefaultConfig(), dur: persist.DefaultOptions()}
+}
+
+// resolve applies the options to a default config and rejects the groups the
+// calling constructor does not consume: misapplied options are an error, not
+// a silent no-op (a WithFsync quietly dropped by New would read as a
+// durability guarantee the store never had).
+func resolveOptions(constructor string, opts []Option, allowDur, allowShard bool) (config, error) {
+	cfg := defaultConfig()
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if !allowDur && len(cfg.durOpts) > 0 {
+		return cfg, fmt.Errorf("pmago: %s: option %s applies only to durable stores (Open/OpenSharded)",
+			constructor, cfg.durOpts[0])
+	}
+	if !allowShard && len(cfg.shardOpts) > 0 {
+		return cfg, fmt.Errorf("pmago: %s: option %s applies only to sharded stores (NewSharded/BulkLoadSharded/OpenSharded)",
+			constructor, cfg.shardOpts[0])
+	}
+	return cfg, nil
 }
 
 // Option customises a PMA.
@@ -85,24 +110,42 @@ func WithWorkers(n int) Option { return func(c *config) { c.core.Workers = n } }
 // ModeOneByOne).
 func WithAdaptive() Option { return func(c *config) { c.core.Adaptive = true } }
 
+// durOpt marks c as carrying the named durability-only option; the
+// in-memory constructors reject such configs instead of dropping the option.
+func (c *config) durOpt(name string) { c.durOpts = append(c.durOpts, name) }
+
+// shardOpt marks c as carrying the named topology option; the unsharded
+// constructors reject such configs instead of dropping the option.
+func (c *config) shardOpt(name string) { c.shardOpts = append(c.shardOpts, name) }
+
 // WithFsync selects the WAL fsync policy of a durable store (default
-// FsyncAlways).
-func WithFsync(p FsyncPolicy) Option { return func(c *config) { c.dur.Fsync = p } }
+// FsyncAlways). Only the durable constructors accept it.
+func WithFsync(p FsyncPolicy) Option {
+	return func(c *config) { c.durOpt("WithFsync"); c.dur.Fsync = p }
+}
 
 // WithFsyncInterval sets the FsyncInterval period (default 50 ms).
-func WithFsyncInterval(d time.Duration) Option { return func(c *config) { c.dur.FsyncEvery = d } }
+func WithFsyncInterval(d time.Duration) Option {
+	return func(c *config) { c.durOpt("WithFsyncInterval"); c.dur.FsyncEvery = d }
+}
 
 // WithWALSegmentBytes sets the WAL segment rotation size (default 64 MiB).
-func WithWALSegmentBytes(n int64) Option { return func(c *config) { c.dur.SegmentBytes = n } }
+func WithWALSegmentBytes(n int64) Option {
+	return func(c *config) { c.durOpt("WithWALSegmentBytes"); c.dur.SegmentBytes = n }
+}
 
 // WithCompactRatio makes a durable store snapshot itself automatically when
 // the live WAL exceeds ratio × the last snapshot's size (default 4; zero or
 // negative disables auto-compaction — Snapshot can still be called).
-func WithCompactRatio(r float64) Option { return func(c *config) { c.dur.CompactRatio = r } }
+func WithCompactRatio(r float64) Option {
+	return func(c *config) { c.durOpt("WithCompactRatio"); c.dur.CompactRatio = r }
+}
 
 // WithCompactMinBytes sets the WAL size below which auto-compaction never
 // fires, and the trigger while no snapshot exists yet (default 8 MiB).
-func WithCompactMinBytes(n int64) Option { return func(c *config) { c.dur.CompactMinBytes = n } }
+func WithCompactMinBytes(n int64) Option {
+	return func(c *config) { c.durOpt("WithCompactMinBytes"); c.dur.CompactMinBytes = n }
+}
 
 // PMA is a concurrent packed memory array mapping int64 keys to int64
 // values in sorted key order. All methods are safe for concurrent use by any
@@ -112,12 +155,21 @@ type PMA struct {
 }
 
 // New creates an empty PMA with the paper's default configuration modified
-// by the given options.
+// by the given options. Durability options (WithFsync, ...) and topology
+// options (WithShards, ...) are rejected with an error — they would
+// otherwise be silently dropped; use Open or the Sharded constructors.
 func New(opts ...Option) (*PMA, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := resolveOptions("New", opts, false, false)
+	if err != nil {
+		return nil, err
 	}
+	return newPMA(cfg)
+}
+
+// newPMA builds a PMA from a resolved config — the shared back end of New
+// and the per-shard loop of NewSharded (which consumes the topology options
+// itself and must not re-trigger their rejection).
+func newPMA(cfg config) (*PMA, error) {
 	c, err := core.New(cfg.core)
 	if err != nil {
 		return nil, err
@@ -132,10 +184,15 @@ func New(opts ...Option) (*PMA, error) {
 // first; duplicate keys collapse to their last occurrence, matching the
 // effect of sequential Puts. The returned PMA must be Closed like any other.
 func BulkLoad(keys, vals []int64, opts ...Option) (*PMA, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := resolveOptions("BulkLoad", opts, false, false)
+	if err != nil {
+		return nil, err
 	}
+	return bulkLoadPMA(cfg, keys, vals)
+}
+
+// bulkLoadPMA is BulkLoad from a resolved config (see newPMA).
+func bulkLoadPMA(cfg config, keys, vals []int64) (*PMA, error) {
 	c, err := core.BulkLoad(cfg.core, keys, vals)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,403 @@
+package server
+
+import (
+	"bufio"
+	"errors"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pmago"
+	"pmago/internal/obs"
+	"pmago/internal/wire"
+)
+
+// scanHighWater bounds a scan's un-written chunk frames in the outbound
+// queue: past it the scan goroutine waits for the writer to catch up, so a
+// slow-reading client throttles its own scans without growing the queue.
+// Request/response frames are exempt — their count is already bounded by
+// the in-flight tokens they hold — which is what lets the committer enqueue
+// acknowledgments without ever blocking on a slow connection.
+const scanHighWater = 32
+
+// conn is one client connection: a reader goroutine (frame decode +
+// dispatch), a writer goroutine (serialize + flush the outbound queue), and
+// up to MaxScansPerConn streaming scan goroutines.
+type conn struct {
+	srv *Server
+	nc  net.Conn
+
+	qmu  sync.Mutex
+	qcnd *sync.Cond
+	q    [][]byte // encoded frames awaiting the writer
+	idle bool     // writer flushed everything and is waiting (under qmu)
+	dead bool     // no further sends (under qmu)
+
+	done     chan struct{} // closed by teardown: cancels scans, wakes waiters
+	tearOnce sync.Once
+
+	pending  sync.WaitGroup // dispatched, not yet answered
+	inflight atomic.Int64
+
+	scanSem chan struct{}
+	scanMu  sync.Mutex
+	scans   map[uint64]chan struct{}
+
+	draining atomic.Bool
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	c := &conn{
+		srv:     s,
+		nc:      nc,
+		done:    make(chan struct{}),
+		scanSem: make(chan struct{}, s.opts.MaxScansPerConn),
+		scans:   make(map[uint64]chan struct{}),
+	}
+	c.qcnd = sync.NewCond(&c.qmu)
+	return c
+}
+
+// serve is the reader loop: decode a request frame, dispatch, repeat until
+// the client disconnects, a frame fails to decode (the stream cannot be
+// resynchronized — the connection dies), or shutdown interrupts the read.
+func (c *conn) serve() {
+	defer c.srv.removeConn(c)
+	defer c.teardown()
+	go c.writer()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	var buf []byte
+	var req wire.Request
+	for {
+		payload, err := wire.ReadFrame(br, buf)
+		if err != nil {
+			if c.draining.Load() && errors.Is(err, os.ErrDeadlineExceeded) {
+				// Graceful shutdown: answer everything dispatched, flush
+				// it onto the wire, then close.
+				c.pending.Wait()
+				c.waitFlushed()
+			} else if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) {
+				c.srv.opts.Logger.Warn("pmago server: connection error",
+					"remote", c.nc.RemoteAddr(), "err", err)
+			}
+			return
+		}
+		buf = payload
+		if m := c.srv.m; m != nil {
+			m.BytesRead.Add(uint64(len(payload)) + 8)
+		}
+		if err := wire.DecodeRequest(payload, &req); err != nil {
+			c.srv.opts.Logger.Warn("pmago server: bad request frame",
+				"remote", c.nc.RemoteAddr(), "err", err)
+			return
+		}
+		c.dispatch(&req)
+	}
+}
+
+// dispatch routes one decoded request: reads and stats execute inline
+// (they are fast and never block on the store for long), scans stream from
+// their own bounded goroutines, writes queue for the committer. Every
+// accepted request holds one per-connection in-flight token until its
+// (final) response is enqueued; over the token budget — or over the global
+// committer queue, or the per-connection scan budget — the request is
+// answered with an explicit busy response instead of being buffered.
+func (c *conn) dispatch(req *wire.Request) {
+	s := c.srv
+	op := obs.ServerOp(req.Op - wire.OpPut)
+	if req.Op != wire.OpCancel && s.m != nil {
+		s.m.Requests[op].Inc()
+	}
+	if req.Op == wire.OpCancel {
+		// Cancels an in-flight scan by its request id; no response, no
+		// token — the scan terminates through its usual final frame.
+		c.scanMu.Lock()
+		if cancel, ok := c.scans[req.ID]; ok {
+			delete(c.scans, req.ID)
+			close(cancel)
+		}
+		c.scanMu.Unlock()
+		return
+	}
+	var t0 time.Time
+	if s.m != nil {
+		t0 = time.Now()
+	}
+	if err := validate(req); err != "" {
+		c.pending.Add(1)
+		c.inflight.Add(1)
+		if s.m != nil {
+			s.m.Errors.Inc()
+		}
+		c.respond(&wire.Response{Status: wire.StatusErr, Op: req.Op, ID: req.ID, Err: err}, op, t0)
+		return
+	}
+	if c.inflight.Add(1) > int64(s.opts.MaxConnInflight) {
+		c.inflight.Add(-1)
+		c.busy(req)
+		return
+	}
+	c.pending.Add(1)
+	switch req.Op {
+	case wire.OpGet:
+		resp := wire.Response{Status: wire.StatusOK, Op: wire.OpGet, ID: req.ID}
+		err := s.apply(func() { resp.Val, resp.Found = s.store.Get(req.Key) })
+		if err != nil {
+			resp = wire.Response{Status: wire.StatusErr, Op: wire.OpGet, ID: req.ID, Err: err.Error()}
+		}
+		c.respond(&resp, op, t0)
+	case wire.OpStats:
+		c.respond(&wire.Response{Status: wire.StatusOK, Op: wire.OpStats, ID: req.ID, Blob: s.statsJSON()}, op, t0)
+	case wire.OpScan:
+		select {
+		case c.scanSem <- struct{}{}:
+		default:
+			c.inflight.Add(-1)
+			c.pending.Done()
+			c.busy(req)
+			return
+		}
+		cancel := make(chan struct{})
+		c.scanMu.Lock()
+		c.scans[req.ID] = cancel
+		c.scanMu.Unlock()
+		go c.runScan(req.ID, req.Key, req.Val, cancel, t0)
+	default: // writes: queue for the cross-client group commit
+		cr := commitReq{c: c, op: req.Op, id: req.ID, key: req.Key, val: req.Val, t0: t0}
+		if len(req.Keys) > 0 {
+			// The decode buffer is reused for the next frame; the committer
+			// needs its own copy.
+			cr.keys = append([]int64(nil), req.Keys...)
+			if req.Op == wire.OpPutBatch {
+				cr.vals = append([]int64(nil), req.Vals...)
+			}
+		}
+		select {
+		case s.commitCh <- cr:
+		default:
+			c.inflight.Add(-1)
+			c.pending.Done()
+			c.busy(req)
+		}
+	}
+}
+
+// validate rejects requests the store would panic on: the reserved
+// sentinel keys (KeyMin/KeyMax fence the array internally) and mismatched
+// batch slices (impossible to encode, checked anyway).
+func validate(req *wire.Request) string {
+	sentinel := func(k int64) bool { return k == pmago.KeyMin || k == pmago.KeyMax }
+	switch req.Op {
+	case wire.OpPut, wire.OpDelete:
+		if sentinel(req.Key) {
+			return "reserved sentinel key"
+		}
+	case wire.OpPutBatch, wire.OpDeleteBatch:
+		for _, k := range req.Keys {
+			if sentinel(k) {
+				return "reserved sentinel key"
+			}
+		}
+	}
+	return ""
+}
+
+// busy sends the explicit backpressure response.
+func (c *conn) busy(req *wire.Request) {
+	if m := c.srv.m; m != nil {
+		m.Busy.Inc()
+	}
+	c.send(wire.AppendResponse(nil, &wire.Response{Status: wire.StatusBusy, Op: req.Op, ID: req.ID}))
+}
+
+// respond enqueues a request's final response and releases its token.
+func (c *conn) respond(resp *wire.Response, op obs.ServerOp, t0 time.Time) {
+	c.send(wire.AppendResponse(nil, resp))
+	if m := c.srv.m; m != nil && op >= 0 && op < obs.NumServerOps {
+		m.OpNanos[op].ObserveDuration(time.Since(t0))
+	}
+	c.inflight.Add(-1)
+	c.pending.Done()
+}
+
+// send appends one encoded frame to the outbound queue (dropped when the
+// connection is dead) and kicks the writer. It never blocks: queue growth
+// is bounded by the in-flight tokens and the scan high-water throttle.
+func (c *conn) send(frame []byte) bool {
+	c.qmu.Lock()
+	if c.dead {
+		c.qmu.Unlock()
+		return false
+	}
+	c.q = append(c.q, frame)
+	wake := c.idle
+	c.qmu.Unlock()
+	if wake {
+		c.qcnd.Broadcast()
+	}
+	return true
+}
+
+// sendScanChunk is send with the high-water throttle: a scan waits for the
+// writer (i.e. for the client to read) instead of growing the queue.
+func (c *conn) sendScanChunk(frame []byte) bool {
+	c.qmu.Lock()
+	for !c.dead && len(c.q) > scanHighWater {
+		c.qcnd.Wait()
+	}
+	if c.dead {
+		c.qmu.Unlock()
+		return false
+	}
+	c.q = append(c.q, frame)
+	wake := c.idle
+	c.qmu.Unlock()
+	if wake {
+		c.qcnd.Broadcast()
+	}
+	return true
+}
+
+// writer serializes the outbound queue onto the socket, flushing whenever
+// it catches up — one syscall per burst under pipelining, per response
+// when idle.
+func (c *conn) writer() {
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	for {
+		c.qmu.Lock()
+		for len(c.q) == 0 && !c.dead {
+			c.idle = true
+			c.qcnd.Broadcast() // waitFlushed watchers
+			c.qcnd.Wait()
+		}
+		if len(c.q) == 0 { // dead and drained
+			c.qmu.Unlock()
+			return
+		}
+		frames := c.q
+		c.q = nil
+		c.idle = false
+		c.qmu.Unlock()
+		var n int
+		var err error
+		for _, f := range frames {
+			if _, err = bw.Write(f); err != nil {
+				break
+			}
+			n += len(f)
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+		if m := c.srv.m; m != nil {
+			m.BytesWritten.Add(uint64(n))
+		}
+		if err != nil {
+			c.teardown()
+			return
+		}
+		c.qmu.Lock()
+		c.qcnd.Broadcast() // scan throttle waiters: space freed
+		c.qmu.Unlock()
+	}
+}
+
+// waitFlushed blocks until the writer has written and flushed every queued
+// frame (or the connection died).
+func (c *conn) waitFlushed() {
+	c.qmu.Lock()
+	for !c.dead && (len(c.q) > 0 || !c.idle) {
+		c.qcnd.Wait()
+	}
+	c.qmu.Unlock()
+}
+
+// runScan streams one scan as chunked frames, ending with a StatusOK frame
+// for the same id. It stops early on OpCancel, client disconnect, or
+// shutdown teardown; the final frame is still attempted so a cancelling
+// client sees the stream terminate.
+func (c *conn) runScan(id uint64, lo, hi int64, cancel chan struct{}, t0 time.Time) {
+	s := c.srv
+	defer func() {
+		<-c.scanSem
+		c.scanMu.Lock()
+		delete(c.scans, id)
+		c.scanMu.Unlock()
+	}()
+	pairs := s.opts.ScanChunkPairs
+	keys := make([]int64, 0, pairs)
+	vals := make([]int64, 0, pairs)
+	stopped := false
+	flush := func() bool {
+		frame := wire.AppendResponse(nil, &wire.Response{
+			Status: wire.StatusScanChunk, Op: wire.OpScan, ID: id, Keys: keys, Vals: vals,
+		})
+		keys, vals = keys[:0], vals[:0]
+		if !c.sendScanChunk(frame) {
+			return false
+		}
+		if s.m != nil {
+			s.m.ScanChunks.Inc()
+		}
+		return true
+	}
+	err := s.apply(func() {
+		s.store.Scan(lo, hi, func(k, v int64) bool {
+			select {
+			case <-cancel:
+				stopped = true
+				return false
+			case <-c.done:
+				stopped = true
+				return false
+			default:
+			}
+			keys = append(keys, k)
+			vals = append(vals, v)
+			if len(keys) == pairs {
+				if !flush() {
+					stopped = true
+					return false
+				}
+			}
+			return true
+		})
+	})
+	if stopped && s.m != nil {
+		s.m.ScanCancels.Inc()
+	}
+	if !stopped && err == nil && len(keys) > 0 && !flush() {
+		stopped = true
+	}
+	resp := wire.Response{Status: wire.StatusOK, Op: wire.OpScan, ID: id}
+	if err != nil {
+		resp = wire.Response{Status: wire.StatusErr, Op: wire.OpScan, ID: id, Err: err.Error()}
+		if s.m != nil {
+			s.m.Errors.Inc()
+		}
+	}
+	c.respond(&resp, obs.ServerOpScan, t0)
+}
+
+// beginDrain (graceful shutdown) stops the reader by expiring its blocked
+// read; dispatched requests keep completing.
+func (c *conn) beginDrain() {
+	c.draining.Store(true)
+	_ = c.nc.SetReadDeadline(time.Now())
+}
+
+// teardown kills the connection now: marks it dead (senders drop), cancels
+// scans and throttled sends via done, and closes the socket.
+func (c *conn) teardown() {
+	c.tearOnce.Do(func() {
+		c.qmu.Lock()
+		c.dead = true
+		c.qmu.Unlock()
+		close(c.done)
+		c.qcnd.Broadcast()
+		_ = c.nc.Close()
+	})
+}

@@ -1,0 +1,445 @@
+// Package server exposes any pmago.Store over a framed binary TCP protocol
+// (pmago/internal/wire): Put, Get, Delete, PutBatch, DeleteBatch, streaming
+// Scan and Stats, with per-connection pipelining — many in-flight requests
+// per connection, responses matched by request id and free to complete out
+// of order.
+//
+// # Cross-client group commit
+//
+// Write requests from every connection funnel into one committer goroutine,
+// which drains its queue and applies each drain as a single consolidated
+// PutBatch (deletes run alongside as individual calls so their removed
+// results stay exact). All ops in one drain are mutually concurrent — none
+// was acknowledged before any other arrived — so any serialization is
+// legal, and the consolidated batch preserves queue order for last-wins
+// semantics. Against a durable store under FsyncAlways this turns N
+// clients' puts into one WAL record and one shared fsync: the server-level
+// mirror of the WAL's own group commit, amortizing the fsync-bound policy
+// across clients. An acknowledgment (the response frame) is queued only
+// after the store call returns, so whatever durability the backend promises
+// per call holds per acknowledged request.
+//
+// # Backpressure and shutdown
+//
+// In-flight work is bounded twice: per connection (MaxConnInflight) and
+// globally (the committer queue). A request over either bound is answered
+// with an explicit busy response — never buffered without bound — and the
+// client retries. Shutdown stops reads, lets every dispatched request
+// complete and flush, then closes; Close tears down immediately. Streaming
+// scans are cancelled by OpCancel or by the client disconnecting.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"pmago"
+	"pmago/internal/obs"
+	"pmago/internal/wire"
+)
+
+// Options tunes a Server. The zero value selects the defaults.
+type Options struct {
+	// MaxConnInflight bounds dispatched-but-unanswered requests per
+	// connection (default 256). The per-connection pipelining window.
+	MaxConnInflight int
+	// MaxScansPerConn bounds concurrently streaming scans per connection
+	// (default 4); further scans get busy responses.
+	MaxScansPerConn int
+	// CommitQueue bounds write requests queued for the committer across all
+	// connections (default 4096) — the global in-flight bound.
+	CommitQueue int
+	// MaxCommitOps caps how many queued write requests one committer drain
+	// coalesces (default 1024).
+	MaxCommitOps int
+	// ScanChunkPairs is the pair count per streamed scan chunk frame
+	// (default 1024).
+	ScanChunkPairs int
+	// DisableMetrics turns the serving-layer metric set off.
+	DisableMetrics bool
+	// Logger receives connection-level protocol errors (nil: slog.Default).
+	Logger *slog.Logger
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxConnInflight <= 0 {
+		o.MaxConnInflight = 256
+	}
+	if o.MaxScansPerConn <= 0 {
+		o.MaxScansPerConn = 4
+	}
+	if o.CommitQueue <= 0 {
+		o.CommitQueue = 4096
+	}
+	if o.MaxCommitOps <= 0 {
+		o.MaxCommitOps = 1024
+	}
+	if o.ScanChunkPairs <= 0 {
+		o.ScanChunkPairs = 1024
+	}
+	if o.Logger == nil {
+		o.Logger = slog.Default()
+	}
+	return o
+}
+
+// Server serves one pmago.Store over TCP. Create with New, start with
+// Serve or ListenAndServe, stop with Shutdown (graceful) or Close.
+type Server struct {
+	store pmago.Store
+	opts  Options
+	m     *obs.ServerMetrics // nil when disabled
+
+	commitCh chan commitReq
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[*conn]struct{}
+	draining bool
+	closed   bool
+
+	connWg   sync.WaitGroup // live connections
+	commitWg sync.WaitGroup // the committer goroutine
+	stopOnce sync.Once      // closes commitCh exactly once
+}
+
+// New wraps store in an unstarted server. The store is not closed by the
+// server — its lifetime stays with the caller.
+func New(store pmago.Store, opts Options) *Server {
+	s := &Server{
+		store: store,
+		opts:  opts.withDefaults(),
+		conns: make(map[*conn]struct{}),
+	}
+	if !s.opts.DisableMetrics {
+		s.m = &obs.ServerMetrics{}
+	}
+	s.commitCh = make(chan commitReq, s.opts.CommitQueue)
+	s.commitWg.Add(1)
+	go s.committer()
+	return s
+}
+
+// ListenAndServe listens on addr and serves until Shutdown or Close.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve accepts connections on ln until Shutdown/Close (which close ln).
+// It returns nil after a clean shutdown, the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed || s.draining {
+		s.mu.Unlock()
+		ln.Close()
+		return errors.New("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopped := s.draining || s.closed
+			s.mu.Unlock()
+			if stopped {
+				return nil
+			}
+			return err
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.draining || s.closed {
+			s.mu.Unlock()
+			nc.Close()
+			continue
+		}
+		s.conns[c] = struct{}{}
+		s.connWg.Add(1)
+		s.mu.Unlock()
+		if s.m != nil {
+			s.m.ConnsOpened.Inc()
+		}
+		go c.serve()
+	}
+}
+
+// Addr returns the listener address ("" before Serve).
+func (s *Server) Addr() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Stats snapshots the backing store's metrics with the serving-layer
+// section attached; Server satisfies pmago.StatsSource, so pmago.Handler
+// can expose a served store on a side HTTP port.
+func (s *Server) Stats() pmago.Stats {
+	st := s.store.Stats()
+	st.Server = s.m.Snapshot()
+	return st
+}
+
+// Shutdown stops accepting, stops reading new requests, waits for every
+// dispatched request to be answered and flushed, then closes all
+// connections. If ctx expires first the remaining connections are torn
+// down immediately and ctx.Err is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.beginDrain()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.connWg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		for _, c := range conns {
+			c.teardown()
+		}
+		<-done
+	}
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.stopOnce.Do(func() { close(s.commitCh) })
+	s.commitWg.Wait()
+	return err
+}
+
+// Close tears the server down immediately: in-flight requests are
+// abandoned (their connections close without final responses).
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.closed = true
+	ln := s.ln
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, c := range conns {
+		c.teardown()
+	}
+	s.connWg.Wait()
+	s.stopOnce.Do(func() { close(s.commitCh) })
+	s.commitWg.Wait()
+	return nil
+}
+
+func (s *Server) removeConn(c *conn) {
+	s.mu.Lock()
+	_, live := s.conns[c]
+	delete(s.conns, c)
+	s.mu.Unlock()
+	if live {
+		if s.m != nil {
+			s.m.ConnsClosed.Inc()
+		}
+		s.connWg.Done()
+	}
+}
+
+// commitReq is one write request queued for the committer. Keys/Vals are
+// owned by the request (copied out of the connection's decode buffer).
+type commitReq struct {
+	c        *conn
+	op       byte
+	id       uint64
+	key, val int64
+	keys     []int64
+	vals     []int64
+	t0       time.Time
+}
+
+// committer is the single goroutine all write requests funnel through: it
+// blocks for the first queued request, drains whatever else arrived (up to
+// MaxCommitOps), and applies the drain as one group commit — see the
+// package doc. It never blocks sending responses (connection queues are
+// bounded by the in-flight tokens their entries hold), so one slow client
+// cannot stall another's acknowledgments.
+func (s *Server) committer() {
+	defer s.commitWg.Done()
+	batch := make([]commitReq, 0, s.opts.MaxCommitOps)
+	for first := range s.commitCh {
+		batch = append(batch[:0], first)
+		// Collect window: the channel send that delivered `first` made this
+		// goroutine runnable immediately, often before the other connections'
+		// readers — which already have frames buffered — got any CPU. Yield a
+		// couple of times so every ready reader can enqueue its request, then
+		// drain. The yields cost microseconds; the fsync this coalescing
+		// shares costs hundreds.
+		for spin := 0; ; spin++ {
+		drain:
+			for len(batch) < s.opts.MaxCommitOps {
+				select {
+				case r, ok := <-s.commitCh:
+					if !ok {
+						break drain
+					}
+					batch = append(batch, r)
+				default:
+					break drain
+				}
+			}
+			if spin >= 2 || len(batch) >= s.opts.MaxCommitOps {
+				break
+			}
+			runtime.Gosched()
+		}
+		s.applyBatch(batch)
+	}
+}
+
+// applyBatch applies one committer drain. Puts consolidate into a single
+// PutBatch in queue order (all ops in a drain are mutually concurrent, so
+// this serialization is legal, and order preservation keeps last-wins
+// dedup faithful); deletes run as individual concurrent store calls so
+// each op's removed result is exact — their WAL appends still share fsyncs
+// through the log's own group commit. Store panics (a sick WAL, rejected
+// input that slipped past validation) become error responses rather than
+// killing the server.
+func (s *Server) applyBatch(batch []commitReq) {
+	var putKeys, putVals []int64
+	nPuts := 0
+	for i := range batch {
+		switch batch[i].op {
+		case wire.OpPut:
+			putKeys = append(putKeys, batch[i].key)
+			putVals = append(putVals, batch[i].val)
+			nPuts++
+		case wire.OpPutBatch:
+			putKeys = append(putKeys, batch[i].keys...)
+			putVals = append(putVals, batch[i].vals...)
+			nPuts++
+		}
+	}
+	var putErr error
+	var wg sync.WaitGroup
+	if len(putKeys) > 0 {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			putErr = s.apply(func() { s.store.PutBatch(putKeys, putVals) })
+		}()
+	}
+	type delResult struct {
+		removed int64
+		err     error
+	}
+	results := make([]delResult, len(batch))
+	for i := range batch {
+		r := &batch[i]
+		switch r.op {
+		case wire.OpDelete:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var removed bool
+				results[i].err = s.apply(func() { removed = s.store.Delete(batch[i].key) })
+				if removed {
+					results[i].removed = 1
+				}
+			}(i)
+		case wire.OpDeleteBatch:
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				var n int
+				results[i].err = s.apply(func() { n = s.store.DeleteBatch(batch[i].keys) })
+				results[i].removed = int64(n)
+			}(i)
+		}
+	}
+	wg.Wait()
+	if s.m != nil {
+		s.m.GroupCommits.Inc()
+		s.m.CommitOps.Observe(uint64(len(batch)))
+		s.m.CommitKeys.Observe(uint64(len(putKeys)))
+	}
+	for i := range batch {
+		r := &batch[i]
+		resp := wire.Response{Status: wire.StatusOK, Op: r.op, ID: r.id}
+		var err error
+		switch r.op {
+		case wire.OpPut, wire.OpPutBatch:
+			err = putErr
+		case wire.OpDelete:
+			err = results[i].err
+			resp.Found = results[i].removed == 1
+		case wire.OpDeleteBatch:
+			err = results[i].err
+			resp.Val = results[i].removed
+		}
+		if err != nil {
+			resp = wire.Response{Status: wire.StatusErr, Op: r.op, ID: r.id, Err: err.Error()}
+			if s.m != nil {
+				s.m.Errors.Inc()
+			}
+		}
+		r.c.respond(&resp, obs.ServerOp(r.op-wire.OpPut), r.t0)
+	}
+}
+
+// apply runs one store call, converting a panic into an error. The store
+// records WAL failures before panicking, so a sick backend also stays
+// visible through Stats().Err.
+func (s *Server) apply(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("server: store: %v", r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// statsJSON renders the full snapshot for OpStats responses.
+func (s *Server) statsJSON() []byte {
+	b, err := json.Marshal(s.Stats())
+	if err != nil {
+		b, _ = json.Marshal(map[string]string{"err": err.Error()})
+	}
+	return b
+}

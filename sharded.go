@@ -44,7 +44,7 @@ import (
 // stream; each chunk within a shard is still observed atomically.
 type Sharded struct {
 	place  placement.Placement
-	stores []shardStore
+	stores []Store
 	mems   []*PMA // non-nil entries when in-memory
 	dbs    []*DB  // non-nil entries when durable
 	// ordered means shard order == key order (range placement): scans walk
@@ -72,27 +72,6 @@ func (s *Sharded) initRouting(cfg config) {
 	s.routedBatch = make([]obs.Counter, s.place.Shards())
 }
 
-// shardStore is the per-shard surface Sharded routes to; both *PMA and *DB
-// satisfy it (Close is handled separately, as DB's returns an error).
-type shardStore interface {
-	Put(k, v int64)
-	Get(k int64) (int64, bool)
-	Delete(k int64) bool
-	PutBatch(keys, vals []int64)
-	DeleteBatch(keys []int64) int
-	Scan(lo, hi int64, fn func(k, v int64) bool)
-	Len() int
-	Capacity() int
-	Flush()
-	Stats() Stats
-	Validate() error
-}
-
-var (
-	_ shardStore = (*PMA)(nil)
-	_ shardStore = (*DB)(nil)
-)
-
 // DefaultShards is the shard count used when none of the sharding options is
 // given.
 const DefaultShards = 4
@@ -112,14 +91,19 @@ func (sc shardConfig) specified() bool {
 }
 
 // WithShards shards the store across n equally weighted shards (straw2
-// placement). Only the Sharded constructors consume this option.
-func WithShards(n int) Option { return func(c *config) { c.shard.n = n } }
+// placement). Only the Sharded constructors accept this option.
+func WithShards(n int) Option {
+	return func(c *config) { c.shardOpt("WithShards"); c.shard.n = n }
+}
 
 // WithShardWeights shards the store across len(weights) shards, shard i
 // receiving keys in proportion to weights[i] (straw2 placement). All weights
 // must be positive and finite.
 func WithShardWeights(weights []float64) Option {
-	return func(c *config) { c.shard.weights = append([]float64(nil), weights...) }
+	return func(c *config) {
+		c.shardOpt("WithShardWeights")
+		c.shard.weights = append([]float64(nil), weights...)
+	}
 }
 
 // WithRangeSplits shards the store by key range: len(splits)+1 shards, shard
@@ -127,7 +111,10 @@ func WithShardWeights(weights []float64) Option {
 // increasing. Range placement keeps shard order equal to key order, so Scan
 // walks shards sequentially with no merge.
 func WithRangeSplits(splits []int64) Option {
-	return func(c *config) { c.shard.splits = append([]int64(nil), splits...) }
+	return func(c *config) {
+		c.shardOpt("WithRangeSplits")
+		c.shard.splits = append([]int64(nil), splits...)
+	}
 }
 
 // resolve turns the options into a placement and the manifest describing it.
@@ -194,12 +181,13 @@ func placementFromManifest(m persist.ShardManifest) (placement.Placement, error)
 
 // NewSharded creates an empty in-memory sharded store. The sharding options
 // (WithShards, WithShardWeights, WithRangeSplits) pick the topology —
-// DefaultShards equal-weight shards when none is given; every other option
-// applies to each shard as it does in New.
+// DefaultShards equal-weight shards when none is given; every other
+// in-memory option applies to each shard as it does in New. Durability
+// options are rejected with an error (use OpenSharded).
 func NewSharded(opts ...Option) (*Sharded, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := resolveOptions("NewSharded", opts, false, true)
+	if err != nil {
+		return nil, err
 	}
 	place, _, err := cfg.shard.resolve()
 	if err != nil {
@@ -208,7 +196,7 @@ func NewSharded(opts ...Option) (*Sharded, error) {
 	s := &Sharded{place: place, ordered: place.Ordered()}
 	s.initRouting(cfg)
 	for i := 0; i < place.Shards(); i++ {
-		p, err := New(opts...)
+		p, err := newPMA(cfg)
 		if err != nil {
 			s.closeAll()
 			return nil, err
@@ -227,9 +215,9 @@ func BulkLoadSharded(keys, vals []int64, opts ...Option) (*Sharded, error) {
 	if len(keys) != len(vals) {
 		return nil, fmt.Errorf("pmago: BulkLoadSharded: %d keys but %d vals", len(keys), len(vals))
 	}
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := resolveOptions("BulkLoadSharded", opts, false, true)
+	if err != nil {
+		return nil, err
 	}
 	place, _, err := cfg.shard.resolve()
 	if err != nil {
@@ -239,14 +227,14 @@ func BulkLoadSharded(keys, vals []int64, opts ...Option) (*Sharded, error) {
 	s := &Sharded{place: place, ordered: place.Ordered()}
 	s.initRouting(cfg)
 	s.mems = make([]*PMA, place.Shards())
-	s.stores = make([]shardStore, place.Shards())
+	s.stores = make([]Store, place.Shards())
 	errs := make([]error, place.Shards())
 	var wg sync.WaitGroup
 	for i := range s.stores {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, err := BulkLoad(partK[i], partV[i], opts...)
+			p, err := bulkLoadPMA(cfg, partK[i], partV[i])
 			if err != nil {
 				errs[i] = err
 				return
@@ -285,9 +273,9 @@ func shardDirName(i int) string { return fmt.Sprintf("shard-%03d", i) }
 // truncation) runs in parallel across shards; any shard's failure fails the
 // open with every shard error aggregated.
 func OpenSharded(dir string, opts ...Option) (*Sharded, error) {
-	cfg := defaultConfig()
-	for _, o := range opts {
-		o(&cfg)
+	cfg, err := resolveOptions("OpenSharded", opts, true, true)
+	if err != nil {
+		return nil, err
 	}
 	var desired persist.ShardManifest
 	place, desired, err := cfg.shard.resolve()
@@ -350,14 +338,14 @@ func OpenSharded(dir string, opts ...Option) (*Sharded, error) {
 	s := &Sharded{place: place, ordered: place.Ordered(), dir: dir, unlock: unlock}
 	s.initRouting(cfg)
 	s.dbs = make([]*DB, place.Shards())
-	s.stores = make([]shardStore, place.Shards())
+	s.stores = make([]Store, place.Shards())
 	errs := make([]error, place.Shards())
 	var wg sync.WaitGroup
 	for i := range s.stores {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			db, err := Open(filepath.Join(dir, shardDirName(i)), opts...)
+			db, err := openDB(filepath.Join(dir, shardDirName(i)), cfg)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s: %w", shardDirName(i), err)
 				return
@@ -515,15 +503,15 @@ func (s *Sharded) eachNonEmpty(parts [][]int64, fn func(i int)) {
 // shard.
 func (s *Sharded) Flush() {
 	s.checkOpen()
-	s.parallel(func(st shardStore) { st.Flush() })
+	s.parallel(func(st Store) { st.Flush() })
 }
 
 // parallel runs fn over all shards concurrently and waits.
-func (s *Sharded) parallel(fn func(shardStore)) {
+func (s *Sharded) parallel(fn func(Store)) {
 	var wg sync.WaitGroup
 	for _, st := range s.stores {
 		wg.Add(1)
-		go func(st shardStore) {
+		go func(st Store) {
 			defer wg.Done()
 			fn(st)
 		}(st)
@@ -598,7 +586,7 @@ func (s *Sharded) Validate() error {
 	var wg sync.WaitGroup
 	for i, st := range s.stores {
 		wg.Add(1)
-		go func(i int, st shardStore) {
+		go func(i int, st Store) {
 			defer wg.Done()
 			if err := st.Validate(); err != nil {
 				errs[i] = fmt.Errorf("shard %d: %w", i, err)
@@ -804,7 +792,7 @@ func (s *Sharded) mergeScan(lo, hi int64, fn func(k, v int64) bool) {
 		c := &shardCursor{ch: make(chan scanBatch, 1)}
 		cursors[i] = c
 		wg.Add(1)
-		go func(st shardStore, ch chan scanBatch) {
+		go func(st Store, ch chan scanBatch) {
 			defer wg.Done()
 			defer close(ch)
 			b := scanBatch{

@@ -1,0 +1,61 @@
+package pmago
+
+// Store is the operation surface shared by every store variant: the
+// in-memory PMA (New/BulkLoad), the durable DB (Open) and the horizontally
+// sharded Sharded (NewSharded/OpenSharded) all satisfy it, so servers,
+// benchmarks and examples can be written once and front any backend. All
+// methods carry the semantics documented on PMA; DB and Sharded narrow or
+// extend them exactly as their own method docs state (durability per fsync
+// policy, cross-shard atomicity).
+//
+// Close is deliberately absent: PMA.Close returns nothing while DB.Close
+// and Sharded.Close return an error, so lifetime management stays with the
+// concrete type (or with DurableStore, whose Close is uniform).
+type Store interface {
+	Put(k, v int64)
+	Get(k int64) (int64, bool)
+	Delete(k int64) bool
+	PutBatch(keys, vals []int64)
+	DeleteBatch(keys []int64) int
+	Scan(lo, hi int64, fn func(k, v int64) bool)
+	ScanAll(fn func(k, v int64) bool)
+	Len() int
+	Capacity() int
+	Flush()
+	Stats() Stats
+	Validate() error
+}
+
+// DurableStore is a Store with a durability surface: DB and Sharded satisfy
+// it. On a Sharded created in memory (NewSharded/BulkLoadSharded) the
+// interface is still satisfied, but Sync and Snapshot return an error and
+// WALBytes/Dir report zero values — durability is a property of how the
+// store was opened, not of its type.
+type DurableStore interface {
+	Store
+	// Sync forces every acknowledged write to stable storage (a durability
+	// barrier for the interval/none fsync policies).
+	Sync() error
+	// Snapshot checkpoints the store, bounding recovery to the snapshot
+	// plus the live WAL tail.
+	Snapshot() error
+	// WALBytes reports the live write-ahead-log size — the replay cost a
+	// crash would incur right now.
+	WALBytes() int64
+	// Dir returns the store's directory ("" when in-memory).
+	Dir() string
+	// Close flushes pending work, forces the log to stable storage and
+	// releases all resources.
+	Close() error
+}
+
+// Every store variant satisfies Store; the durable ones satisfy
+// DurableStore. Kept as compile-time assertions so an accidental signature
+// drift fails the build, not a caller.
+var (
+	_ Store        = (*PMA)(nil)
+	_ Store        = (*DB)(nil)
+	_ Store        = (*Sharded)(nil)
+	_ DurableStore = (*DB)(nil)
+	_ DurableStore = (*Sharded)(nil)
+)
