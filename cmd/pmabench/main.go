@@ -8,6 +8,7 @@
 //	pmabench -experiment ablation-leaf       # Section 4.1 text: 4KiB vs 8KiB leaves
 //	pmabench -experiment reads               # optimistic (seqlock) vs latched reads
 //	pmabench -experiment batch               # batch subsystem: PutBatch/BulkLoad vs point loops
+//	pmabench -experiment memory              # compressed chunks: heap and bytes/pair vs uncompressed
 //	pmabench -experiment durability          # WAL fsync policies + recovery time
 //	pmabench -experiment shards              # sharded store: shard count scaling
 //	pmabench -experiment wire                # TCP front end: cross-client group commit
@@ -45,7 +46,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | reads | batch | durability | graph | shards | wire | all, or a comma-separated list")
+		experiment = flag.String("experiment", "all", "figure3 | figure4 | ablation-segment | ablation-leaf | reads | batch | memory | durability | graph | shards | wire | all, or a comma-separated list")
 		plot       = flag.String("plot", "", "figure3: a-f (empty = all); figure4: a-c (empty = all)")
 		inserts    = flag.Int("inserts", bench.DefaultScale().InsertN, "elements inserted in insert-only experiments")
 		loadN      = flag.Int("load", bench.DefaultScale().LoadN, "preloaded base size for the mixed experiments")
@@ -83,7 +84,7 @@ func main() {
 	// exactly one handler (no drift between the single and the all run).
 	known := []string{
 		"figure3", "figure4", "ablation-segment", "ablation-leaf",
-		"reads", "batch", "durability", "graph", "shards", "wire",
+		"reads", "batch", "memory", "durability", "graph", "shards", "wire",
 	}
 	var experiments []string
 	for _, exp := range strings.Split(*experiment, ",") {
@@ -127,6 +128,8 @@ func main() {
 			printReads(sc, readDur, report, *stats)
 		case "batch":
 			printBatch(sc, report)
+		case "memory":
+			printMemory(sc, report)
 		case "durability":
 			printDurability(sc, report)
 		case "graph":
@@ -160,6 +163,7 @@ func printReads(sc bench.Scale, perCell time.Duration, report *bench.Report, sta
 		opt := byKey[fmt.Sprintf("optimistic/%d", pct)]
 		lat := byKey[fmt.Sprintf("latched/%d", pct)]
 		nom := byKey[fmt.Sprintf("nometrics/%d", pct)]
+		cmp := byKey[fmt.Sprintf("compressed/%d", pct)]
 		speedup := 0.0
 		if lat.GetsPerSec > 0 {
 			speedup = opt.GetsPerSec / lat.GetsPerSec
@@ -170,6 +174,11 @@ func printReads(sc bench.Scale, perCell time.Duration, report *bench.Report, sta
 			// The observability overhead guard: optimistic runs with metrics
 			// on, nometrics is the same path with them disabled.
 			fmt.Printf(", metrics overhead %+5.1f%%", (nom.GetsPerSec-opt.GetsPerSec)/nom.GetsPerSec*100)
+		}
+		if cmp.GetsPerSec > 0 && opt.GetsPerSec > 0 {
+			// The decode cost of compressed chunks, relative to the same
+			// optimistic path over the uncompressed layout.
+			fmt.Printf(", compressed %6.2f M gets/s (%.2fx)", cmp.GetsPerSec/1e6, cmp.GetsPerSec/opt.GetsPerSec)
 		}
 		if opt.Writers > 0 {
 			fmt.Printf("  (puts: latched %5.2f M/s, optimistic %5.2f M/s)", lat.PutsPerSec/1e6, opt.PutsPerSec/1e6)
@@ -207,18 +216,49 @@ func printBatch(sc bench.Scale, report *bench.Report) {
 		if r.NoMetricsPerSec > 0 {
 			overhead = (r.NoMetricsPerSec - r.BatchPerSec) / r.NoMetricsPerSec * 100
 		}
-		fmt.Printf("PutBatch 10k (%-15s): point %6.2f M/s, batch %6.2f M/s, speedup %5.1fx, metrics overhead %+5.1f%%\n",
-			shape, r.PointPerSec/1e6, r.BatchPerSec/1e6, r.Speedup, overhead)
+		fmt.Printf("PutBatch 10k (%-15s): point %6.2f M/s, batch %6.2f M/s, speedup %5.1fx, metrics overhead %+5.1f%%, compressed %6.2f M/s\n",
+			shape, r.PointPerSec/1e6, r.BatchPerSec/1e6, r.Speedup, overhead, r.CompressedPerSec/1e6)
 		labels := map[string]string{"shape": shape}
 		report.Add("batch", "point_put", labels, "ops/s", r.PointPerSec)
 		report.Add("batch", "put_batch", labels, "ops/s", r.BatchPerSec)
 		report.Add("batch", "put_batch_nometrics", labels, "ops/s", r.NoMetricsPerSec)
+		report.Add("batch", "put_batch_compressed", labels, "ops/s", r.CompressedPerSec)
 	}
 	b := bench.RunBulkComparison(sc.InsertN, sc.Seed)
-	fmt.Printf("BulkLoad %d keys: point %v, bulk %v, speedup %.1fx\n\n",
-		b.N, b.PointWall.Round(time.Millisecond), b.BulkWall.Round(time.Millisecond), b.Speedup)
+	fmt.Printf("BulkLoad %d keys: point %v, bulk %v (compressed %v), speedup %.1fx\n\n",
+		b.N, b.PointWall.Round(time.Millisecond), b.BulkWall.Round(time.Millisecond),
+		b.BulkCompressedWall.Round(time.Millisecond), b.Speedup)
 	report.Add("batch", "bulk_load", map[string]string{"n": fmt.Sprintf("%d", b.N)}, "seconds", b.BulkWall.Seconds())
 	report.Add("batch", "point_load", map[string]string{"n": fmt.Sprintf("%d", b.N)}, "seconds", b.PointWall.Seconds())
+	report.Add("batch", "bulk_load_compressed", map[string]string{"n": fmt.Sprintf("%d", b.N)}, "seconds", b.BulkCompressedWall.Seconds())
+}
+
+func printMemory(sc bench.Scale, report *bench.Report) {
+	fmt.Println("== Memory: compressed chunks (delta-encoded segments) vs uncompressed ==")
+	rs := bench.RunMemory(sc)
+	var base bench.MemoryResult
+	for _, r := range rs {
+		fmt.Printf("%-12s %9d pairs: heap %9s (%5.2f B/pair", r.Variant, r.N, byteSize(int64(r.HeapBytes)), r.HeapBytesPerPair)
+		if r.EncodedBytesPerPair > 0 {
+			fmt.Printf(", payload %.2f B/pair", r.EncodedBytesPerPair)
+		}
+		fmt.Printf("), bulk load %v, scan %6.1f M pairs/s",
+			r.BulkLoadWall.Round(time.Millisecond), r.ScanPairsPerSec/1e6)
+		if r.Variant == "uncompressed" {
+			base = r
+		} else if base.HeapBytes > 0 && r.HeapBytes > 0 {
+			fmt.Printf("  (%.2fx less heap)", float64(base.HeapBytes)/float64(r.HeapBytes))
+		}
+		fmt.Println()
+		labels := map[string]string{"variant": r.Variant}
+		report.Add("memory", "heap_bytes_per_pair", labels, "bytes", r.HeapBytesPerPair)
+		if r.EncodedBytesPerPair > 0 {
+			report.Add("memory", "encoded_bytes_per_pair", labels, "bytes", r.EncodedBytesPerPair)
+		}
+		report.Add("memory", "bulk_load", labels, "seconds", r.BulkLoadWall.Seconds())
+		report.Add("memory", "scan", labels, "pairs/s", r.ScanPairsPerSec)
+	}
+	fmt.Println()
 }
 
 func printDurability(sc bench.Scale, report *bench.Report) {

@@ -100,6 +100,25 @@
 // keeps the latch-free callback contract — the callback may update the same
 // store — with chunk atomicity per shard and no cross-shard snapshot.
 //
+// # Compressed chunks
+//
+// WithCompressedChunks selects a CPMA-style in-memory representation:
+// each PMA segment stores its pairs as one delta block (varint key gaps
+// and zigzag values, the snapshot wire format) instead of fixed 16-byte
+// slots, cutting the live heap of dense key runs by several times — see
+// the memory experiment in internal/bench. Semantics are unchanged: the
+// same API, the same concurrency contract (optimistic readers decode
+// through a hardened decoder and validate against the seqlock version as
+// before), and the same snapshot format on disk, so a directory written
+// compressed reopens uncompressed and vice versa. The trade is
+// decode-on-read and re-encode-on-write at segment granularity: point
+// operations pay a bounded extra cost, while BulkLoad and Snapshot get
+// faster (one encode pass rides the layout pass; a checkpoint streams
+// the already-encoded blocks to disk without touching pairs). Enable it
+// for memory-bound, scan- and ingest-heavy workloads with locally dense
+// keys; leave it off when single-key latency dominates. The option is
+// per store — under WithShards it applies to every shard.
+//
 // # Observability
 //
 // Every store variant is instrumented by default: Stats returns a typed

@@ -325,20 +325,29 @@ func (db *DB) snapshot(auto bool) error {
 		return err
 	}
 
-	count, size, err := persist.WriteSnapshot(db.dir, cut, func(yield func(k, v int64) bool) error {
-		db.inner.ScanAll(yield)
-		// The scan may have observed writes from after the cut whose WAL
-		// records are not yet on stable storage (FsyncInterval/FsyncNone).
-		// Sync the log before WriteSnapshot publishes the checkpoint:
-		// otherwise a power loss could recover a state containing a later
-		// acknowledged write (captured by the scan) while losing an
-		// earlier one that existed only in the unsynced tail — breaking
-		// the prefix-consistency guarantee this file documents. Syncing
-		// after the scan covers every record the scan could have seen,
-		// and a sync failure aborts the snapshot before the rename, so a
-		// checkpoint never supersedes WAL records that are not durable.
-		return db.log.Sync()
-	}, db.dur)
+	// The scan may observe writes from after the cut whose WAL records are
+	// not yet on stable storage (FsyncInterval/FsyncNone). Sync the log
+	// before the writer publishes the checkpoint: otherwise a power loss
+	// could recover a state containing a later acknowledged write (captured
+	// by the scan) while losing an earlier one that existed only in the
+	// unsynced tail — breaking the prefix-consistency guarantee this file
+	// documents. Syncing after the scan covers every record the scan could
+	// have seen, and a sync failure aborts the snapshot before the rename,
+	// so a checkpoint never supersedes WAL records that are not durable.
+	var count, size int64
+	if db.inner.c.Compressed() {
+		// Compressed fast path: segments stream to disk as the delta
+		// blocks they already are — no decode, no per-pair re-encode.
+		count, size, err = persist.WriteSnapshotBlocks(db.dir, cut, func(yield func(payload []byte, pairs int) bool) error {
+			db.inner.c.ScanBlocks(yield)
+			return db.log.Sync()
+		}, db.dur)
+	} else {
+		count, size, err = persist.WriteSnapshot(db.dir, cut, func(yield func(k, v int64) bool) error {
+			db.inner.ScanAll(yield)
+			return db.log.Sync()
+		}, db.dur)
+	}
 	if err != nil {
 		return err
 	}

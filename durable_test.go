@@ -467,3 +467,82 @@ func TestDurableUseAfterClosePanics(t *testing.T) {
 	mustPanic(t, msg, func() { _ = db.Snapshot() })
 	mustPanic(t, msg, func() { _ = db.Sync() })
 }
+
+// TestCompressedSnapshotInterop: snapshots are a representation-neutral
+// interchange format. A snapshot cut by a compressed store (which streams
+// its encoded blocks verbatim to disk) must reopen into an uncompressed
+// store, and vice versa, with identical content in both directions.
+func TestCompressedSnapshotInterop(t *testing.T) {
+	dir := t.TempDir()
+	model := map[int64]int64{}
+
+	db, err := Open(dir, WithCompressedChunks(), WithCompactRatio(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 8000; i++ {
+		k, v := rng.Int63n(1<<30), rng.Int63()
+		db.Put(k, v)
+		model[k] = v
+	}
+	for k := range model {
+		if rng.Intn(5) == 0 {
+			db.Delete(k)
+			delete(model, k)
+		}
+	}
+	db.Flush()
+	if !db.Stats().Compression.Enabled {
+		t.Fatal("compressed store reports compression disabled")
+	}
+	if err := db.Snapshot(); err != nil { // cut via the encoded block fast path
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Compressed-written snapshot into an uncompressed store.
+	db2, err := Open(dir, WithCompactRatio(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scanToMap(t, db2); !reflect.DeepEqual(got, model) {
+		t.Fatalf("uncompressed reopen: %d keys, want %d", len(got), len(model))
+	}
+	if db2.Stats().Compression.Enabled {
+		t.Fatal("uncompressed store reports compression enabled")
+	}
+	for i := 0; i < 1000; i++ {
+		k, v := rng.Int63n(1<<30), rng.Int63()
+		db2.Put(k, v)
+		model[k] = v
+	}
+	db2.Flush()
+	if err := db2.Snapshot(); err != nil { // pair-at-a-time snapshot path
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Uncompressed-written snapshot back into a compressed store.
+	db3, err := Open(dir, WithCompressedChunks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := scanToMap(t, db3); !reflect.DeepEqual(got, model) {
+		t.Fatalf("compressed reopen: %d keys, want %d", len(got), len(model))
+	}
+	if err := db3.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := db3.Stats()
+	if !st.Compression.Enabled || st.Compression.Pairs != uint64(len(model)) {
+		t.Fatalf("compression stats after reopen: %+v (want %d pairs)", st.Compression, len(model))
+	}
+	if err := db3.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -75,10 +75,11 @@ type BatchResult struct {
 	BatchSize  int
 	ClusterLen int // 0 = uniformly scattered keys
 
-	PointPerSec     float64 // keys/s via the point-update loop
-	BatchPerSec     float64 // keys/s via PutBatch
-	NoMetricsPerSec float64 // keys/s via PutBatch with metrics disabled (overhead guard)
-	Speedup         float64
+	PointPerSec      float64 // keys/s via the point-update loop
+	BatchPerSec      float64 // keys/s via PutBatch
+	NoMetricsPerSec  float64 // keys/s via PutBatch with metrics disabled (overhead guard)
+	CompressedPerSec float64 // keys/s via PutBatch into a compressed-chunk store
+	Speedup          float64
 }
 
 // RunBatchComparison preloads a paper-configuration PMA with loadN uniform
@@ -91,9 +92,10 @@ type BatchResult struct {
 // series), which per-gate merging amortises and a point loop cannot.
 func RunBatchComparison(loadN, n, batchSize, clusterLen int, seed int64) BatchResult {
 	res := BatchResult{LoadN: loadN, N: n, BatchSize: batchSize, ClusterLen: clusterLen}
-	run := func(batched, metrics bool) float64 {
+	run := func(batched, metrics, compressed bool) float64 {
 		cfg := PaperPMAConfig()
 		cfg.DisableMetrics = !metrics
+		cfg.CompressedChunks = compressed
 		s := core.MustNew(cfg)
 		defer s.Close()
 		preload(s, loadN, seed)
@@ -113,9 +115,10 @@ func RunBatchComparison(loadN, n, batchSize, clusterLen int, seed int64) BatchRe
 		s.Flush()
 		return float64(n) / time.Since(start).Seconds()
 	}
-	res.PointPerSec = run(false, true)
-	res.BatchPerSec = run(true, true)
-	res.NoMetricsPerSec = run(true, false)
+	res.PointPerSec = run(false, true, false)
+	res.BatchPerSec = run(true, true, false)
+	res.NoMetricsPerSec = run(true, false, false)
+	res.CompressedPerSec = run(true, true, true)
 	res.Speedup = res.BatchPerSec / res.PointPerSec
 	return res
 }
@@ -126,7 +129,11 @@ type BulkResult struct {
 	N         int
 	PointWall time.Duration
 	BulkWall  time.Duration
-	Speedup   float64
+	// BulkCompressedWall is BulkLoad into a compressed-chunk store: the
+	// single encode pass rides the same layout pass, so it should track
+	// BulkWall closely while producing the smaller array.
+	BulkCompressedWall time.Duration
+	Speedup            float64
 }
 
 // RunBulkComparison builds a store of n sorted unique keys twice: with n
@@ -153,6 +160,16 @@ func RunBulkComparison(n int, seed int64) BulkResult {
 	}
 	res.BulkWall = time.Since(start)
 	b.Close()
+
+	ccfg := PaperPMAConfig()
+	ccfg.CompressedChunks = true
+	start = time.Now()
+	bc, err := core.BulkLoad(ccfg, keys, vals)
+	if err != nil {
+		panic(err)
+	}
+	res.BulkCompressedWall = time.Since(start)
+	bc.Close()
 
 	res.Speedup = res.PointWall.Seconds() / res.BulkWall.Seconds()
 	return res

@@ -1,0 +1,114 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"pmago/internal/core"
+)
+
+// This file is the memory experiment behind `pmabench -experiment memory`:
+// it builds the same dataset into an uncompressed and a compressed
+// (core.Config.CompressedChunks) store and reports the live heap each one
+// retains, the bytes per pair of the compressed payload itself, and the
+// BulkLoad and full-scan rates — the space/time trade the compressed
+// representation buys. Heap is measured as the HeapAlloc delta across the
+// store's construction with a forced GC on both sides, so only memory the
+// store keeps alive is attributed to it (the input slices are allocated
+// before the first reading).
+
+// MemoryResult is one variant's measurements.
+type MemoryResult struct {
+	Variant string // "uncompressed" or "compressed"
+	N       int    // pairs stored
+
+	HeapBytes        uint64  // live heap retained by the store
+	HeapBytesPerPair float64 // HeapBytes / N
+	// EncodedBytesPerPair is the compressed payload alone (from
+	// Stats().Compression), excluding per-gate metadata; 0 when
+	// uncompressed.
+	EncodedBytesPerPair float64
+	BulkLoadWall        time.Duration
+	ScanWall            time.Duration // one full ScanAll over the n pairs
+	ScanPairsPerSec     float64
+}
+
+// MemoryVariants are the evaluated representations.
+var MemoryVariants = []string{"uncompressed", "compressed"}
+
+// RunMemory measures both variants over sc.InsertN pairs: distinct sorted
+// keys scattered uniformly over an 8x domain (average key gap 8, the dense
+// shape the delta codec targets — a graph's edge lists, a time-ordered
+// telemetry series) with small values.
+func RunMemory(sc Scale) []MemoryResult {
+	n := sc.InsertN
+	if n < 1<<10 {
+		n = 1 << 10
+	}
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i) * 8
+		vals[i] = int64(i)
+	}
+	var out []MemoryResult
+	for _, variant := range MemoryVariants {
+		cfg := PaperPMAConfig()
+		cfg.CompressedChunks = variant == "compressed"
+		out = append(out, runMemoryCell(cfg, variant, keys, vals))
+	}
+	return out
+}
+
+func runMemoryCell(cfg core.Config, variant string, keys, vals []int64) MemoryResult {
+	n := len(keys)
+	var before, after runtime.MemStats
+	// Two collections on each side: sync.Pool victim caches (a previous
+	// cell's scratch buffers) survive a single GC and would otherwise skew
+	// the delta.
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+
+	start := time.Now()
+	p, err := core.BulkLoad(cfg, keys, vals)
+	if err != nil {
+		panic(fmt.Sprintf("bench: memory bulk load: %v", err))
+	}
+	loadWall := time.Since(start)
+
+	runtime.GC()
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	heap := after.HeapAlloc - before.HeapAlloc
+	if after.HeapAlloc < before.HeapAlloc {
+		heap = 0 // GC reclaimed more than the store retains; don't wrap
+	}
+
+	start = time.Now()
+	seen := 0
+	p.ScanAll(func(_, _ int64) bool {
+		seen++
+		return true
+	})
+	scanWall := time.Since(start)
+	if seen != n {
+		panic(fmt.Sprintf("bench: memory scan visited %d of %d pairs", seen, n))
+	}
+
+	res := MemoryResult{
+		Variant:          variant,
+		N:                n,
+		HeapBytes:        heap,
+		HeapBytesPerPair: float64(heap) / float64(n),
+		BulkLoadWall:     loadWall,
+		ScanWall:         scanWall,
+		ScanPairsPerSec:  float64(n) / scanWall.Seconds(),
+	}
+	if st := p.Stats(); st.Compression.Enabled && st.Compression.Pairs > 0 {
+		res.EncodedBytesPerPair = float64(st.Compression.EncodedBytes) / float64(st.Compression.Pairs)
+	}
+	p.Close()
+	return res
+}

@@ -22,7 +22,7 @@ import (
 
 // ReadsResult is one cell of the read-path comparison.
 type ReadsResult struct {
-	Variant    string // "optimistic", "latched" or "nometrics"
+	Variant    string // "optimistic", "latched", "nometrics" or "compressed"
 	WriterPct  int    // requested share of threads issuing updates
 	Readers    int    // goroutines issuing Gets
 	Writers    int    // goroutines issuing Puts
@@ -34,8 +34,11 @@ type ReadsResult struct {
 	Stats core.Stats
 }
 
-// ReadsVariants are the evaluated read-path configurations.
-var ReadsVariants = []string{"optimistic", "latched", "nometrics"}
+// ReadsVariants are the evaluated read-path configurations. "compressed"
+// is the optimistic path over compressed chunks (core.Config
+// CompressedChunks): each Get pays one bounded segment decode, the cost
+// side of the memory experiment's space win.
+var ReadsVariants = []string{"optimistic", "latched", "nometrics", "compressed"}
 
 // ReadsWriterMixes are the evaluated writer shares, in percent of threads.
 var ReadsWriterMixes = []int{0, 25, 50}
@@ -78,6 +81,7 @@ func RunReads(sc Scale, perCell time.Duration) []ReadsResult {
 			cfg := PaperPMAConfig()
 			cfg.DisableOptimisticReads = variant == "latched"
 			cfg.DisableMetrics = variant == "nometrics"
+			cfg.CompressedChunks = variant == "compressed"
 			var best ReadsResult
 			for rep := 0; rep < repeats; rep++ {
 				r := runReadsCell(cfg, variant, pct, readers, writers, keys, vals, perCell, sc.Seed+int64(rep))

@@ -1,0 +1,159 @@
+// Package codec is the delta block codec shared by the persistence layer's
+// snapshots (internal/persist) and the in-memory compressed chunks
+// (internal/core): a sorted run of int64 key/value pairs is stored as
+//
+//	uvarint  pair count (>= 1)
+//	varint   first key (zigzag)
+//	uvarint  key deltas, one per remaining pair (strictly ascending keys,
+//	         so every delta is >= 1; dense runs cost one byte per key)
+//	varint   values (zigzag), one per pair
+//
+// A dense PMA segment or snapshot block encodes at a few bytes per pair
+// instead of the 16 an uncompressed pair costs.
+//
+// The decoder is hardened for both of its callers' threat models — bytes
+// read back from a crashed disk, and bytes read racily from a chunk a
+// concurrent writer is re-encoding (the seqlock read path discards the
+// result on version mismatch, but the decode itself must never fault):
+// it never panics, never over-reads, appends at most maxPairs pairs
+// whatever the input claims, and rejects zero or wrapping key deltas, so
+// every accepted block is a strictly ascending run. The key-delta overflow
+// check lives only here; persist and core previously had to agree on it by
+// duplication.
+package codec
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Decode errors. Callers that frame blocks (persist) wrap them with file
+// context; the racy in-memory reader only cares that an error came back.
+var (
+	ErrCount    = errors.New("codec: bad block count")
+	ErrFirstKey = errors.New("codec: bad first key")
+	ErrDelta    = errors.New("codec: bad key delta")
+	ErrOverflow = errors.New("codec: key delta overflow")
+	ErrValue    = errors.New("codec: bad value")
+	ErrTrailing = errors.New("codec: trailing block bytes")
+)
+
+// AppendBlock appends one encoded block for the given pairs to dst and
+// returns the extended slice. keys must be strictly ascending and non-empty;
+// len(vals) must equal len(keys). The caller owns framing (length, CRC).
+func AppendBlock(dst []byte, keys, vals []int64) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	dst = binary.AppendVarint(dst, keys[0])
+	for i := 1; i < len(keys); i++ {
+		dst = binary.AppendUvarint(dst, uint64(keys[i]-keys[i-1]))
+	}
+	for _, v := range vals {
+		dst = binary.AppendVarint(dst, v)
+	}
+	return dst
+}
+
+// MaxEncodedLen bounds the encoded size of a block of n pairs: the count,
+// a worst-case varint per key delta and per value. Useful for sizing
+// fixed scratch buffers.
+func MaxEncodedLen(n int) int {
+	const maxVarint = binary.MaxVarintLen64
+	return maxVarint + 2*n*maxVarint
+}
+
+// DecodeBlock decodes one block payload, appending the pairs to keys and
+// vals, and returns the extended slices. It accepts only a complete,
+// internally consistent block: a count in [1, maxPairs], strictly ascending
+// keys (no zero deltas, no int64 wrap), every varint well-formed, and no
+// trailing bytes. On error the returned slices may carry a partial prefix
+// of the block; callers either discard them (persist invalidates the whole
+// file) or re-slice to the pre-call length (the racy read path). At most
+// maxPairs pairs are appended no matter what the input claims, so a caller
+// with a fixed-capacity scratch buffer never grows it.
+func DecodeBlock(p []byte, keys, vals []int64, maxPairs int) ([]int64, []int64, error) {
+	c, un := binary.Uvarint(p)
+	if un <= 0 || c == 0 || c > uint64(maxPairs) {
+		return keys, vals, ErrCount
+	}
+	n := int(c)
+	first, vn := binary.Varint(p[un:])
+	if vn <= 0 {
+		return keys, vals, ErrFirstKey
+	}
+	// The count is validated, so the output length is known up front:
+	// extend both slices once and fill by index, keeping the per-pair loop
+	// free of append bookkeeping. On error the filled prefix is re-sliced
+	// back to exactly the pairs decoded so far, preserving the
+	// partial-prefix contract.
+	kb, vb := len(keys), len(vals)
+	keys = grow(keys, n)
+	vals = grow(vals, n)
+	i := un + vn
+	keys[kb] = first
+	k := first
+	for j := 1; j < n; j++ {
+		var d uint64
+		if i < len(p) && p[i] < 0x80 { // 1-byte delta: the dense-run fast path
+			d = uint64(p[i])
+			i++
+		} else {
+			var dn int
+			d, dn = binary.Uvarint(p[i:])
+			if dn <= 0 {
+				return keys[:kb+j], vals[:vb], ErrDelta
+			}
+			i += dn
+		}
+		if d == 0 {
+			return keys[:kb+j], vals[:vb], ErrDelta
+		}
+		// Keys are strictly ascending, so a delta that wraps past
+		// MaxInt64 (or reads back as <= 0) is corruption, not a gap.
+		nk := k + int64(d)
+		if nk <= k {
+			return keys[:kb+j], vals[:vb], ErrOverflow
+		}
+		k = nk
+		keys[kb+j] = k
+	}
+	for j := 0; j < n; j++ {
+		var v int64
+		if i < len(p) && p[i] < 0x80 { // 1-byte zigzag value fast path
+			v = int64(p[i]>>1) ^ -int64(p[i]&1)
+			i++
+		} else {
+			var vn int
+			v, vn = binary.Varint(p[i:])
+			if vn <= 0 {
+				return keys, vals[:vb+j], ErrValue
+			}
+			i += vn
+		}
+		vals[vb+j] = v
+	}
+	if i != len(p) {
+		return keys, vals, ErrTrailing
+	}
+	return keys, vals, nil
+}
+
+// grow extends s by n elements (values unspecified), reusing capacity when
+// it fits — the common case for the pooled fixed-capacity scratch buffers
+// both decoder callers pass in.
+func grow(s []int64, n int) []int64 {
+	if len(s)+n <= cap(s) {
+		return s[:len(s)+n]
+	}
+	return append(s, make([]int64, n)...)
+}
+
+// BlockCount reads just the pair count from a block payload without
+// decoding the pairs — the cheap header peek framing layers use to account
+// pairs in pre-encoded blocks. The count is validated against maxPairs.
+func BlockCount(p []byte, maxPairs int) (int, error) {
+	c, un := binary.Uvarint(p)
+	if un <= 0 || c == 0 || c > uint64(maxPairs) {
+		return 0, ErrCount
+	}
+	return int(c), nil
+}

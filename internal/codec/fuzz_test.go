@@ -1,0 +1,55 @@
+package codec
+
+import "testing"
+
+// FuzzDecodeBlock asserts the decoder's contract on arbitrary bytes: it
+// must decode or error — never panic, never over-read, never append more
+// than maxPairs pairs — and anything it accepts must be a strictly
+// ascending run with matching value count. This is the contract the racy
+// in-memory read path depends on: a torn re-encode hands the decoder
+// garbage, and the seqlock version check only discards the *result*; the
+// decode itself has to survive. CI's fuzz-smoke job runs this target
+// alongside the persist/wire decoders.
+func FuzzDecodeBlock(f *testing.F) {
+	f.Add(AppendBlock(nil, []int64{1}, []int64{-1}), 16)
+	f.Add(AppendBlock(nil, []int64{-100, 0, 7, 1 << 50}, []int64{1, 2, 3, 4}), 16)
+	f.Add(AppendBlock(nil, []int64{0, 1, 2, 3, 4, 5, 6, 7}, make([]int64, 8)), 8)
+	f.Add([]byte{}, 16)
+	f.Add([]byte{1, 0}, 16)
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}, 16)
+	f.Fuzz(func(t *testing.T, data []byte, maxPairs int) {
+		if maxPairs < 1 || maxPairs > 1<<16 {
+			maxPairs = 1 << 10
+		}
+		keys, vals, err := DecodeBlock(data, nil, nil, maxPairs)
+		if len(keys) > maxPairs || len(vals) > maxPairs {
+			t.Fatalf("appended %d/%d pairs, above maxPairs %d", len(keys), len(vals), maxPairs)
+		}
+		if err != nil {
+			return
+		}
+		if len(keys) != len(vals) || len(keys) == 0 {
+			t.Fatalf("accepted block with %d keys / %d vals", len(keys), len(vals))
+		}
+		for i := 1; i < len(keys); i++ {
+			if keys[i] <= keys[i-1] {
+				t.Fatalf("accepted non-ascending keys: %d after %d", keys[i], keys[i-1])
+			}
+		}
+		// Any accepted content must survive a re-encode/decode round
+		// trip: what the decoder accepts, the encoder can represent.
+		re := AppendBlock(nil, keys, vals)
+		k2, v2, err := DecodeBlock(re, nil, nil, maxPairs)
+		if err != nil {
+			t.Fatalf("re-encode of accepted block failed to decode: %v", err)
+		}
+		if len(k2) != len(keys) {
+			t.Fatalf("re-encode changed pair count: %d -> %d", len(keys), len(k2))
+		}
+		for i := range keys {
+			if k2[i] != keys[i] || v2[i] != vals[i] {
+				t.Fatalf("re-encode changed pair %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,255 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"pmago/internal/codec"
+)
+
+// testConfigC is testConfig with the compressed chunk representation on.
+func testConfigC(mode Mode) Config {
+	cfg := testConfig(mode)
+	cfg.CompressedChunks = true
+	return cfg
+}
+
+func newTestC(t *testing.T, mode Mode) *PMA {
+	t.Helper()
+	p, err := New(testConfigC(mode))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// TestCompressedModelEquivalence runs a mixed random workload (point puts
+// and deletes, batch puts and deletes, upserts) against a compressed store
+// and a map model, in every mode, checking Get, ScanAll, Len and the full
+// structural Validate (which decodes every segment) at the end.
+func TestCompressedModelEquivalence(t *testing.T) {
+	for _, mode := range allModes() {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			p := newTestC(t, mode)
+			model := make(map[int64]int64)
+			rng := rand.New(rand.NewSource(7))
+			const domain = 1 << 13
+			for i := 0; i < 30_000; i++ {
+				k := rng.Int63n(domain)
+				switch rng.Intn(10) {
+				case 0:
+					p.Delete(k)
+					delete(model, k)
+				case 1: // batch put
+					n := 1 + rng.Intn(200)
+					ks := make([]int64, n)
+					vs := make([]int64, n)
+					for j := range ks {
+						ks[j] = rng.Int63n(domain)
+						vs[j] = rng.Int63()
+						model[ks[j]] = vs[j]
+					}
+					// Later duplicates win in PutBatch; replay the model in
+					// order so it agrees.
+					for j := range ks {
+						model[ks[j]] = vs[j]
+					}
+					p.PutBatch(ks, vs)
+				case 2: // batch delete
+					n := 1 + rng.Intn(100)
+					ks := make([]int64, n)
+					for j := range ks {
+						ks[j] = rng.Int63n(domain)
+						delete(model, ks[j])
+					}
+					p.DeleteBatch(ks)
+				default:
+					v := rng.Int63()
+					p.Put(k, v)
+					model[k] = v
+				}
+			}
+			p.Flush()
+			if p.Len() != len(model) {
+				t.Fatalf("Len = %d, model has %d", p.Len(), len(model))
+			}
+			for k, want := range model {
+				if v, ok := p.Get(k); !ok || v != want {
+					t.Fatalf("Get(%d) = %d,%v want %d,true", k, v, ok, want)
+				}
+			}
+			seen := 0
+			prev := int64(-1)
+			p.ScanAll(func(k, v int64) bool {
+				if k <= prev {
+					t.Fatalf("scan not ascending: %d after %d", k, prev)
+				}
+				if want, ok := model[k]; !ok || v != want {
+					t.Fatalf("scan saw %d/%d, model %d,%v", k, v, want, ok)
+				}
+				prev = k
+				seen++
+				return true
+			})
+			if seen != len(model) {
+				t.Fatalf("scan visited %d, model has %d", seen, len(model))
+			}
+			if err := p.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			st := p.Stats()
+			if !st.Compression.Enabled || st.Compression.SegDecodes == 0 {
+				t.Fatalf("compression stats not live: %+v", st.Compression)
+			}
+		})
+	}
+}
+
+// TestCompressedBulkLoad pins the BulkLoad path through fillChunkC and the
+// encoded-bytes accounting surfaced by Stats.
+func TestCompressedBulkLoad(t *testing.T) {
+	const n = 50_000
+	keys := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range keys {
+		keys[i] = int64(i) * 3
+		vals[i] = int64(i)
+	}
+	p, err := BulkLoad(testConfigC(ModeBatch), keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	if !p.Compressed() {
+		t.Fatal("Compressed() = false")
+	}
+	if p.Len() != n {
+		t.Fatalf("Len = %d, want %d", p.Len(), n)
+	}
+	for i := 0; i < n; i += 997 {
+		if v, ok := p.Get(keys[i]); !ok || v != vals[i] {
+			t.Fatalf("Get(%d) = %d,%v", keys[i], v, ok)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := p.Stats()
+	if st.Compression.Pairs != n {
+		t.Fatalf("Compression.Pairs = %d, want %d", st.Compression.Pairs, n)
+	}
+	if st.Compression.EncodedBytes == 0 {
+		t.Fatal("Compression.EncodedBytes = 0 on a loaded store")
+	}
+	// The codec's reason to exist: a dense run must store far below the 16
+	// raw bytes per pair of the uncompressed representation.
+	if bpp := float64(st.Compression.EncodedBytes) / float64(n); bpp > 8 {
+		t.Fatalf("%.2f bytes/pair, want <= 8", bpp)
+	}
+}
+
+// TestCompressedScanBlocks checks the snapshot fast path: the streamed
+// blocks decode back to exactly the store's content, in order, with
+// strictly ascending block first keys.
+func TestCompressedScanBlocks(t *testing.T) {
+	p := newTestC(t, ModeBatch)
+	rng := rand.New(rand.NewSource(3))
+	model := make(map[int64]int64)
+	for i := 0; i < 20_000; i++ {
+		k := rng.Int63n(1 << 40)
+		model[k] = int64(i)
+		p.Put(k, int64(i))
+	}
+	p.Flush()
+
+	var gotK, gotV []int64
+	prevFirst := int64(-1 << 62)
+	done := p.ScanBlocks(func(payload []byte, pairs int) bool {
+		ks, vs, err := codec.DecodeBlock(payload, nil, nil, pairs)
+		if err != nil {
+			t.Fatalf("block decode: %v", err)
+		}
+		if len(ks) != pairs {
+			t.Fatalf("block claims %d pairs, decoded %d", pairs, len(ks))
+		}
+		if ks[0] <= prevFirst {
+			t.Fatalf("block first keys not ascending: %d after %d", ks[0], prevFirst)
+		}
+		prevFirst = ks[0]
+		gotK = append(gotK, ks...)
+		gotV = append(gotV, vs...)
+		return true
+	})
+	if !done {
+		t.Fatal("ScanBlocks stopped early")
+	}
+	if len(gotK) != len(model) {
+		t.Fatalf("streamed %d pairs, model has %d", len(gotK), len(model))
+	}
+	for i, k := range gotK {
+		if i > 0 && k <= gotK[i-1] {
+			t.Fatalf("keys not ascending at %d", i)
+		}
+		if want, ok := model[k]; !ok || gotV[i] != want {
+			t.Fatalf("pair %d/%d, model %d,%v", k, gotV[i], want, ok)
+		}
+	}
+
+	// Early stop propagates.
+	calls := 0
+	if p.ScanBlocks(func([]byte, int) bool { calls++; return false }) {
+		t.Fatal("ScanBlocks did not report the early stop")
+	}
+	if calls != 1 {
+		t.Fatalf("fn called %d times after stopping, want 1", calls)
+	}
+}
+
+// TestCompressedScanBlocksEmpty: an empty compressed store streams zero
+// blocks and completes.
+func TestCompressedScanBlocksEmpty(t *testing.T) {
+	p := newTestC(t, ModeSync)
+	if !p.ScanBlocks(func([]byte, int) bool { t.Fatal("block from empty store"); return false }) {
+		t.Fatal("ScanBlocks returned false on empty store")
+	}
+}
+
+// TestCompressedMatchesUncompressed drives the same operation sequence into
+// a compressed and an uncompressed store and requires identical content —
+// the representation must be invisible to every caller.
+func TestCompressedMatchesUncompressed(t *testing.T) {
+	for _, mode := range allModes() {
+		cu := newTest(t, mode)
+		cc := newTestC(t, mode)
+		rng := rand.New(rand.NewSource(11))
+		for i := 0; i < 20_000; i++ {
+			k := rng.Int63n(1 << 12)
+			if rng.Intn(4) == 0 {
+				cu.Delete(k)
+				cc.Delete(k)
+			} else {
+				v := rng.Int63()
+				cu.Put(k, v)
+				cc.Put(k, v)
+			}
+		}
+		cu.Flush()
+		cc.Flush()
+		ku, kc := cu.Keys(), cc.Keys()
+		if len(ku) != len(kc) {
+			t.Fatalf("%v: %d keys uncompressed, %d compressed", mode, len(ku), len(kc))
+		}
+		for i := range ku {
+			if ku[i] != kc[i] {
+				t.Fatalf("%v: key %d differs: %d vs %d", mode, i, ku[i], kc[i])
+			}
+			vu, _ := cu.Get(ku[i])
+			vc, ok := cc.Get(kc[i])
+			if !ok || vu != vc {
+				t.Fatalf("%v: value for %d differs: %d vs %d,%v", mode, ku[i], vu, vc, ok)
+			}
+		}
+	}
+}

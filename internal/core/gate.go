@@ -73,12 +73,25 @@ type gate struct {
 	lastReb int64   // monotonic nanos of the last global rebalance (tdelay)
 	pred    *rma.Predictor
 
+	// Compressed-chunk storage (cgate.go): non-nil exactly when the store
+	// was built with Config.CompressedChunks, in which case buf stays nil
+	// and each segment's pairs live delta-encoded in enc[s] (nil element =
+	// never-encoded empty segment). Like buf/segCard/smin, enc is swapped
+	// whole under the latch and its length is always spg, so the racy
+	// readers' torn-header discipline carries over unchanged. encBytes is
+	// the sum of the segments' encoded lengths, atomic so Stats can walk
+	// the live gates without latching them. cc is the store-wide scratch
+	// pool and metrics context, fixed at creation.
+	enc      []*encSeg
+	encBytes atomic.Int64
+	cc       *cctx
+
 	idx int // gate number within its state (fixed)
 	spg int // segments per gate
 	b   int // slots per segment
 }
 
-func newGate(idx, spg, b int, buf *rewire.Buffer, pred *rma.Predictor) *gate {
+func newGate(idx, spg, b int, buf *rewire.Buffer, pred *rma.Predictor, cc *cctx) *gate {
 	g := &gate{
 		idx:     idx,
 		spg:     spg,
@@ -89,6 +102,10 @@ func newGate(idx, spg, b int, buf *rewire.Buffer, pred *rma.Predictor) *gate {
 		fenceLo: rma.KeyMin,
 		fenceHi: rma.KeyMax,
 		pred:    pred,
+		cc:      cc,
+	}
+	if cc != nil {
+		g.enc = make([]*encSeg, spg)
 	}
 	g.cond.L = &g.mu
 	for i := range g.smin {
@@ -232,6 +249,9 @@ func clampCard(c, b int) int {
 
 // get looks k up within the chunk.
 func (g *gate) get(k int64) (int64, bool) {
+	if g.enc != nil {
+		return g.getC(k)
+	}
 	s := g.findSeg(k)
 	base := s * g.b
 	keys := g.buf.Keys[base : base+g.segCard[s]]
@@ -252,6 +272,9 @@ func (g *gate) get(k int64) (int64, bool) {
 // the fixed geometry, and the per-segment cardinality is clamped to [0, b],
 // so all indexing stays in bounds no matter what was read.
 func (g *gate) getRacy(k int64) (int64, bool) {
+	if g.enc != nil {
+		return g.getRacyC(k)
+	}
 	buf, segCard, smin := g.buf, g.segCard, g.smin
 	if buf == nil || len(smin) < g.spg || len(segCard) < g.spg ||
 		len(buf.Keys) < g.spg*g.b || len(buf.Vals) < g.spg*g.b {
@@ -282,6 +305,9 @@ const (
 // cannot absorb the insert under its calibrator threshold, in which case
 // nothing was modified.
 func (g *gate) put(st *state, k, v int64) putResult {
+	if g.enc != nil {
+		return g.putC(st, k, v)
+	}
 	s := g.findSeg(k)
 	base := s * g.b
 	keys := g.buf.Keys[base : base+g.segCard[s]]
@@ -328,6 +354,9 @@ func (g *gate) insertAt(s, i int, k, v int64) {
 
 // del removes k from the chunk, reporting whether it was present.
 func (g *gate) del(k int64) bool {
+	if g.enc != nil {
+		return g.delC(k)
+	}
 	s := g.findSeg(k)
 	base := s * g.b
 	c := g.segCard[s]
@@ -484,6 +513,9 @@ func searchKeys(a []int64, k int64) int {
 // of newly created elements and whether the run fit; on false nothing was
 // modified.
 func (g *gate) mergeBySegment(ins []op) (int, bool) {
+	if g.enc != nil {
+		return g.mergeBySegmentC(ins)
+	}
 	type group struct {
 		s, lo, hi int // ins[lo:hi] targets segment s
 		fresh     int // keys in the group not already stored
@@ -558,6 +590,9 @@ func (g *gate) mergeLocal(st *state, ins []op) (int, bool) {
 	if n == 0 {
 		return 0, true
 	}
+	if g.enc != nil {
+		return g.mergeLocalC(st, ins)
+	}
 	s0 := g.findSeg(ins[0].key)
 	s1 := g.findSeg(ins[n-1].key)
 
@@ -611,6 +646,9 @@ func (g *gate) mergeLocal(st *state, ins []op) (int, bool) {
 // scanFrom visits the chunk's elements with key in [from, hi], in order,
 // returning false if fn stopped the scan.
 func (g *gate) scanFrom(from, hi int64, fn func(k, v int64) bool) bool {
+	if g.enc != nil {
+		return g.scanFromC(from, hi, fn)
+	}
 	s := g.findSeg(from)
 	base := s * g.b
 	keys := g.buf.Keys[base : base+g.segCard[s]]
@@ -638,6 +676,9 @@ func (g *gate) scanFrom(from, hi int64, fn func(k, v int64) bool) bool {
 // version afterwards. Garbage keys can only truncate the copy early or admit
 // out-of-range elements; both are discarded with the failed validation.
 func (g *gate) collectRacy(from, hi int64, ks, vs []int64) ([]int64, []int64) {
+	if g.enc != nil {
+		return g.collectRacyC(from, hi, ks, vs)
+	}
 	buf, segCard, smin := g.buf, g.segCard, g.smin
 	if buf == nil || len(smin) < g.spg || len(segCard) < g.spg ||
 		len(buf.Keys) < g.spg*g.b || len(buf.Vals) < g.spg*g.b {

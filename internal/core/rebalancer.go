@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"pmago/internal/codec"
 	"pmago/internal/obs"
 	"pmago/internal/rewire"
 	"pmago/internal/rma"
@@ -401,10 +402,15 @@ type gateCursor struct {
 	g   int // current absolute gate
 	s   int // current segment within gate
 	off int // offset within segment
+
+	// Compressed sources: the decode of the current segment, cached so the
+	// forward-only walk decodes each source segment exactly once.
+	ck, cv []int64
+	cg, cs int // segment identity of the cache; -1 = none
 }
 
 func newGateCursor(st *state, glo, ghi, skip int) *gateCursor {
-	c := &gateCursor{st: st, ghi: ghi, g: glo}
+	c := &gateCursor{st: st, ghi: ghi, g: glo, cg: -1, cs: -1}
 	for skip > 0 && c.g < ghi {
 		gc := st.gates[c.g].gcard
 		if skip >= gc {
@@ -447,12 +453,31 @@ func (c *gateCursor) copyInto(dk, dv []int64) {
 		if run > need-pos {
 			run = need - pos
 		}
-		base := c.s*g.b + c.off
-		copy(dk[pos:pos+run], g.buf.Keys[base:base+run])
-		copy(dv[pos:pos+run], g.buf.Vals[base:base+run])
+		if g.enc != nil {
+			c.ensureDecoded(g)
+			copy(dk[pos:pos+run], c.ck[c.off:c.off+run])
+			copy(dv[pos:pos+run], c.cv[c.off:c.off+run])
+		} else {
+			base := c.s*g.b + c.off
+			copy(dk[pos:pos+run], g.buf.Keys[base:base+run])
+			copy(dv[pos:pos+run], g.buf.Vals[base:base+run])
+		}
 		c.off += run
 		pos += run
 	}
+}
+
+// ensureDecoded fills the cursor's cache with the current segment's pairs.
+func (c *gateCursor) ensureDecoded(g *gate) {
+	if c.cg == c.g && c.cs == c.s {
+		return
+	}
+	if c.ck == nil {
+		c.ck = make([]int64, 0, g.b)
+		c.cv = make([]int64, 0, g.b)
+	}
+	c.ck, c.cv = g.decodeSegInto(c.s, c.ck[:0], c.cv[:0])
+	c.cg, c.cs = c.g, c.s
 }
 
 // sliceSource feeds elements from the master's scratch arrays.
@@ -472,6 +497,8 @@ func (s *sliceSource) copyInto(dk, dv []int64) {
 // a worker and published by the master.
 type destPlan struct {
 	buf      *rewire.Buffer
+	enc      []*encSeg // compressed stores: encoded segments instead of buf
+	encBytes int64     // sum of the enc payload lengths
 	segCard  []int
 	smin     []int64
 	gcard    int
@@ -483,6 +510,9 @@ type destPlan struct {
 // derives the chunk metadata. It is shared by the rebalancer's workers and
 // by BulkLoad's direct construction.
 func (p *PMA) fillChunk(segCounts []int, b int, src elemSource) destPlan {
+	if p.cctx != nil {
+		return p.fillChunkC(segCounts, src)
+	}
 	spg := len(segCounts)
 	pl := destPlan{
 		buf:     p.pool.Get(),
@@ -509,6 +539,51 @@ func (p *PMA) fillChunk(segCounts []int, b int, src elemSource) destPlan {
 	if pl.gcard > 0 {
 		pl.firstKey = inherit // after the loop, inherit is the chunk minimum
 		pl.hasKey = true
+	}
+	return pl
+}
+
+// fillChunkC is fillChunk for compressed stores: each destination segment is
+// staged through a scratch decode of its pairs and encoded exactly-sized —
+// rebalanced chunks carry no slack; growth slack is added by the first
+// in-place rewrite that outgrows a payload (encodeSegPairs).
+func (p *PMA) fillChunkC(segCounts []int, src elemSource) destPlan {
+	spg := len(segCounts)
+	pl := destPlan{
+		segCard: make([]int, spg),
+		smin:    make([]int64, spg),
+		enc:     make([]*encSeg, spg),
+	}
+	sc := p.cctx.get()
+	defer p.cctx.put(sc)
+	for j, c := range segCounts {
+		if c > 0 {
+			ks, vs := sc.ks[:c], sc.vs[:c]
+			src.copyInto(ks, vs)
+			payload := codec.AppendBlock(sc.eb[:0], ks, vs)
+			data := make([]byte, len(payload))
+			copy(data, payload)
+			pl.enc[j] = &encSeg{data: data, n: int32(len(payload))}
+			pl.encBytes += int64(len(payload))
+			pl.smin[j] = ks[0]
+		}
+		pl.segCard[j] = c
+		pl.gcard += c
+	}
+	inherit := int64(rma.KeyMax)
+	for j := spg - 1; j >= 0; j-- {
+		if pl.segCard[j] > 0 {
+			inherit = pl.smin[j]
+		} else {
+			pl.smin[j] = inherit
+		}
+	}
+	if pl.gcard > 0 {
+		pl.firstKey = inherit
+		pl.hasKey = true
+	}
+	if m := p.metrics; m != nil && pl.encBytes > 0 {
+		m.ReencodeBytes.Add(uint64(pl.encBytes))
 	}
 	return pl
 }
@@ -654,6 +729,8 @@ func (r *rebalancer) publish(st *state, glo, ghi int, plans []destPlan) {
 		pl := plans[i-glo]
 		old := g.buf
 		g.buf = pl.buf
+		g.enc = pl.enc
+		g.encBytes.Store(pl.encBytes)
 		g.segCard = pl.segCard
 		g.smin = pl.smin
 		g.gcard = pl.gcard
@@ -809,6 +886,8 @@ func (p *PMA) installState(st *state, plans []destPlan, total int) {
 		p.pool.Put(g.buf) // replace the placeholder buffer from newState
 		pl := plans[i]
 		g.buf = pl.buf
+		g.enc = pl.enc
+		g.encBytes.Store(pl.encBytes)
 		g.segCard = pl.segCard
 		g.smin = pl.smin
 		g.gcard = pl.gcard
@@ -933,6 +1012,17 @@ func mergeInto(dk, dv []int64, g *gate, ins []op, dels []int64) {
 
 // forEachKey visits the gate's stored keys in order.
 func forEachKey(g *gate, fn func(k int64)) {
+	if g.enc != nil {
+		sc := g.cc.get()
+		defer g.cc.put(sc)
+		for s := 0; s < g.spg; s++ {
+			ks, _ := g.decodeSeg(s, sc)
+			for _, k := range ks {
+				fn(k)
+			}
+		}
+		return
+	}
 	for s := 0; s < g.spg; s++ {
 		base := s * g.b
 		for i, c := 0, g.segCard[s]; i < c; i++ {
@@ -943,6 +1033,17 @@ func forEachKey(g *gate, fn func(k int64)) {
 
 // forEachPair visits the gate's stored pairs in order.
 func forEachPair(g *gate, fn func(k, v int64)) {
+	if g.enc != nil {
+		sc := g.cc.get()
+		defer g.cc.put(sc)
+		for s := 0; s < g.spg; s++ {
+			ks, vs := g.decodeSeg(s, sc)
+			for i := range ks {
+				fn(ks[i], vs[i])
+			}
+		}
+		return
+	}
 	for s := 0; s < g.spg; s++ {
 		base := s * g.b
 		for i, c := 0, g.segCard[s]; i < c; i++ {

@@ -28,14 +28,17 @@ func stressVal(k int64) int64 { return k*31 + 7 }
 func TestOptimisticReadStress(t *testing.T) {
 	for _, mode := range allModes() {
 		mode := mode
-		t.Run(mode.String(), func(t *testing.T) { stressReads(t, mode, false) })
+		t.Run(mode.String(), func(t *testing.T) { stressReads(t, mode, false, false) })
+		t.Run(mode.String()+"-compressed", func(t *testing.T) { stressReads(t, mode, false, true) })
 	}
-	t.Run("latched-fallback", func(t *testing.T) { stressReads(t, ModeBatch, true) })
+	t.Run("latched-fallback", func(t *testing.T) { stressReads(t, ModeBatch, true, false) })
+	t.Run("latched-fallback-compressed", func(t *testing.T) { stressReads(t, ModeBatch, true, true) })
 }
 
-func stressReads(t *testing.T, mode Mode, disableOptimistic bool) {
+func stressReads(t *testing.T, mode Mode, disableOptimistic, compressed bool) {
 	cfg := testConfig(mode)
 	cfg.DisableOptimisticReads = disableOptimistic
+	cfg.CompressedChunks = compressed
 	p, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)

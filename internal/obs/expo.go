@@ -48,6 +48,14 @@ func (s Snapshot) Points() []Point {
 		d("resize_duration_seconds", "seconds", s.Rebalance.ResizeNanos, 1e-9),
 		c("epoch_reclaimed_total", "snapshots", s.Rebalance.EpochReclaimed),
 	}
+	if s.Compression.Enabled {
+		pts = append(pts,
+			c("compressed_seg_decodes_total", "decodes", s.Compression.SegDecodes),
+			c("compressed_reencode_bytes_total", "bytes", s.Compression.ReencodeBytes),
+			Point{Name: "compressed_encoded_bytes", Unit: "bytes", Value: s.Compression.EncodedBytes, Gauge: true},
+			Point{Name: "compressed_pairs", Unit: "pairs", Value: s.Compression.Pairs, Gauge: true},
+		)
+	}
 	if s.Durable {
 		pts = append(pts,
 			c("wal_appends_total", "records", s.WAL.Appends),

@@ -44,6 +44,16 @@ type CoreMetrics struct {
 	RebalanceWindow  Histogram
 	RebalanceNanos   Histogram
 	ResizeNanos      Histogram
+
+	// Compressed chunks (core/cgate.go). SegDecodes counts segment
+	// decodes on any path (point reads, writes re-reading their segment,
+	// scans, rebalance gathers); ReencodeBytes accumulates bytes written
+	// by segment re-encodes, the compressed write amplification. Both
+	// stay zero for an uncompressed store. The gauges of the snapshot's
+	// compression section (encoded bytes, pairs) are not counters — the
+	// core computes them from the live array at Stats time.
+	SegDecodes    Counter
+	ReencodeBytes Counter
 }
 
 // ReadStats is the read-path section of a snapshot.
@@ -74,11 +84,24 @@ type RebalanceStats struct {
 	EpochReclaimed uint64       `json:"epoch_reclaimed"`
 }
 
+// CompressionStats is the compressed-chunks section of a snapshot. For an
+// uncompressed store every field is zero and Enabled is false. EncodedBytes
+// and Pairs are gauges over the live array (filled by the core at Stats
+// time, like EpochReclaimed); EncodedBytes/Pairs is the store's bytes/pair.
+type CompressionStats struct {
+	Enabled       bool   `json:"enabled"`
+	SegDecodes    uint64 `json:"seg_decodes"`
+	ReencodeBytes uint64 `json:"reencode_bytes"`
+	EncodedBytes  uint64 `json:"encoded_bytes"`
+	Pairs         uint64 `json:"pairs"`
+}
+
 // CoreSnapshot is one PMA's counters at a point in time.
 type CoreSnapshot struct {
-	Reads     ReadStats      `json:"reads"`
-	Updates   UpdateStats    `json:"updates"`
-	Rebalance RebalanceStats `json:"rebalance"`
+	Reads       ReadStats        `json:"reads"`
+	Updates     UpdateStats      `json:"updates"`
+	Rebalance   RebalanceStats   `json:"rebalance"`
+	Compression CompressionStats `json:"compression"`
 }
 
 // Snapshot copies the live counters. Nil-safe: a disabled core reports
@@ -110,6 +133,10 @@ func (m *CoreMetrics) Snapshot() CoreSnapshot {
 			RebalanceNanos: m.RebalanceNanos.Snapshot(),
 			ResizeNanos:    m.ResizeNanos.Snapshot(),
 		},
+		Compression: CompressionStats{
+			SegDecodes:    m.SegDecodes.Load(),
+			ReencodeBytes: m.ReencodeBytes.Load(),
+		},
 	}
 }
 
@@ -131,6 +158,11 @@ func (s CoreSnapshot) merge(o CoreSnapshot) CoreSnapshot {
 	s.Rebalance.RebalanceNanos = s.Rebalance.RebalanceNanos.merge(o.Rebalance.RebalanceNanos)
 	s.Rebalance.ResizeNanos = s.Rebalance.ResizeNanos.merge(o.Rebalance.ResizeNanos)
 	s.Rebalance.EpochReclaimed += o.Rebalance.EpochReclaimed
+	s.Compression.Enabled = s.Compression.Enabled || o.Compression.Enabled
+	s.Compression.SegDecodes += o.Compression.SegDecodes
+	s.Compression.ReencodeBytes += o.Compression.ReencodeBytes
+	s.Compression.EncodedBytes += o.Compression.EncodedBytes
+	s.Compression.Pairs += o.Compression.Pairs
 	return s
 }
 

@@ -8,6 +8,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"pmago/internal/codec"
 )
 
 // Snapshot wire format. A snapshot is one consistent full scan of the
@@ -18,11 +20,13 @@ import (
 //	frames  { u8 frameBlock, u32 payloadLen, u32 CRC32-C, payload }*
 //	trailer { u8 frameTrailer, u64 pair count, u32 CRC32-C of the count }
 //
-// Block payloads are delta-encoded: pair count, the block's first key as a
-// zigzag varint, then successive key gaps as plain uvarints (keys are
-// strictly increasing, so every gap is >= 1 and small gaps — the common
-// case in a dense PMA — cost one byte), then the values as zigzag varints.
-// A sorted int64 store snapshots at a few bytes per pair instead of 16.
+// Block payloads are delta-encoded by the shared internal/codec package
+// (pair count, the block's first key as a zigzag varint, then successive
+// key gaps as plain uvarints, then the values as zigzag varints — see the
+// codec docs), the same encoding the core uses for compressed in-memory
+// chunks. A sorted int64 store snapshots at a few bytes per pair instead
+// of 16, and a compressed store can stream its segments into snapshot
+// blocks without ever decoding (WriteSnapshotBlocks).
 //
 // The file is written as snap-<seq>.pma.tmp, fsynced, then renamed: a
 // crash mid-snapshot leaves only a .tmp that recovery ignores. A snapshot
@@ -171,18 +175,117 @@ func WriteSnapshot(dir string, walSeq uint64, iter func(yield func(k, v int64) b
 func encodeSnapBlock(b []byte, keys, vals []int64) []byte {
 	start := len(b)
 	b = append(b, frameBlock, 0, 0, 0, 0, 0, 0, 0, 0)
-	b = appendUvarint(b, uint64(len(keys)))
-	b = appendVarint(b, keys[0])
-	for i := 1; i < len(keys); i++ {
-		b = appendUvarint(b, uint64(keys[i]-keys[i-1]))
-	}
-	for _, v := range vals {
-		b = appendVarint(b, v)
-	}
+	b = codec.AppendBlock(b, keys, vals)
 	payload := b[start+9:]
 	binary.LittleEndian.PutUint32(b[start+1:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(b[start+5:], crc32.Checksum(payload, crcTable))
 	return b
+}
+
+// appendRawBlock frames an already-encoded codec block payload — the
+// compressed store's snapshot fast path, which never decodes its segments.
+func appendRawBlock(b, payload []byte) []byte {
+	b = append(b, frameBlock, 0, 0, 0, 0, 0, 0, 0, 0)
+	binary.LittleEndian.PutUint32(b[len(b)-8:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crc32.Checksum(payload, crcTable))
+	return append(b, payload...)
+}
+
+// WriteSnapshotBlocks is WriteSnapshot for a store whose chunks are already
+// codec-encoded: iter yields whole block payloads (with their pair counts)
+// instead of pairs, and each payload is framed and checksummed as-is — the
+// pairs are never decoded on the way to disk. Payloads must be valid codec
+// blocks in ascending key order; each block's header is re-parsed here so a
+// corrupt count or out-of-order first key aborts the snapshot rather than
+// publishing a checkpoint recovery would then reject wholesale.
+func WriteSnapshotBlocks(dir string, walSeq uint64, iter func(yield func(payload []byte, pairs int) bool) error, o Options) (count, size int64, err error) {
+	tmp := filepath.Join(dir, snapName(walSeq)+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	bw := bufio.NewWriterSize(f, 1<<20)
+	header := make([]byte, 0, 16)
+	header = append(header, snapMagic...)
+	header = binary.LittleEndian.AppendUint64(header, walSeq)
+	if _, err = bw.Write(header); err != nil {
+		return 0, 0, err
+	}
+
+	var (
+		scratch   []byte
+		prevFirst int64
+		iterErr   error
+	)
+	cbErr := iter(func(payload []byte, pairs int) bool {
+		c, cerr := codec.BlockCount(payload, maxRecordBytes/2)
+		if cerr != nil || c != pairs {
+			iterErr = fmt.Errorf("persist: snapshot block header disagrees with caller: %d pairs claimed", pairs)
+			return false
+		}
+		first, ok := blockFirstKey(payload)
+		if !ok || (count > 0 && first <= prevFirst) {
+			iterErr = fmt.Errorf("persist: snapshot blocks not in ascending key order")
+			return false
+		}
+		prevFirst = first
+		count += int64(pairs)
+		scratch = appendRawBlock(scratch[:0], payload)
+		_, werr := bw.Write(scratch)
+		if werr != nil {
+			iterErr = werr
+			return false
+		}
+		return true
+	})
+	if err = iterErr; err != nil {
+		return 0, 0, err
+	}
+	if err = cbErr; err != nil {
+		return 0, 0, err
+	}
+	trailer := make([]byte, 0, 13)
+	trailer = append(trailer, frameTrailer)
+	trailer = binary.LittleEndian.AppendUint64(trailer, uint64(count))
+	trailer = binary.LittleEndian.AppendUint32(trailer, crc32.Checksum(trailer[1:9], crcTable))
+	if _, err = bw.Write(trailer); err != nil {
+		return 0, 0, err
+	}
+	if err = bw.Flush(); err != nil {
+		return 0, 0, err
+	}
+	if err = f.Sync(); err != nil {
+		return 0, 0, err
+	}
+	fi, statErr := f.Stat()
+	if err = statErr; err != nil {
+		return 0, 0, err
+	}
+	if err = f.Close(); err != nil {
+		return 0, 0, err
+	}
+	if err = os.Rename(tmp, filepath.Join(dir, snapName(walSeq))); err != nil {
+		return 0, 0, err
+	}
+	syncDir(dir)
+	return count, fi.Size(), nil
+}
+
+// blockFirstKey peeks a codec block's first key without decoding the pairs:
+// the cheap cross-block ordering check WriteSnapshotBlocks runs per block.
+func blockFirstKey(p []byte) (int64, bool) {
+	_, un := binary.Uvarint(p)
+	if un <= 0 {
+		return 0, false
+	}
+	k, vn := binary.Varint(p[un:])
+	return k, vn > 0
 }
 
 // LoadSnapshot reads and fully validates a snapshot file, returning its
@@ -238,47 +341,13 @@ func LoadSnapshot(path string) (keys, vals []int64, walSeq uint64, err error) {
 	}
 }
 
+// decodeSnapBlock delegates to the shared hardened decoder; the key-delta
+// overflow check and all other consistency rules live in internal/codec
+// (this used to be a duplicated copy of the core's decoder). A decode error
+// invalidates the whole snapshot, so the partially-appended pairs codec may
+// leave behind are discarded by the caller.
 func decodeSnapBlock(p []byte, keys, vals []int64) ([]int64, []int64, error) {
-	c, un := binary.Uvarint(p)
-	if un <= 0 || c == 0 || c > maxRecordBytes/2 {
-		return nil, nil, fmt.Errorf("bad block count")
-	}
-	p = p[un:]
-	n := int(c)
-	first, vn := binary.Varint(p)
-	if vn <= 0 {
-		return nil, nil, fmt.Errorf("bad first key")
-	}
-	p = p[vn:]
-	keys = append(keys, first)
-	k := first
-	for i := 1; i < n; i++ {
-		d, dn := binary.Uvarint(p)
-		if dn <= 0 || d == 0 {
-			return nil, nil, fmt.Errorf("bad key delta")
-		}
-		p = p[dn:]
-		// Keys are strictly increasing, so a delta that wraps past
-		// MaxInt64 (or reads back as <= 0) is corruption, not a gap.
-		nk := k + int64(d)
-		if nk <= k {
-			return nil, nil, fmt.Errorf("key delta overflow")
-		}
-		k = nk
-		keys = append(keys, k)
-	}
-	for i := 0; i < n; i++ {
-		v, vn := binary.Varint(p)
-		if vn <= 0 {
-			return nil, nil, fmt.Errorf("bad value")
-		}
-		p = p[vn:]
-		vals = append(vals, v)
-	}
-	if len(p) != 0 {
-		return nil, nil, fmt.Errorf("trailing block bytes")
-	}
-	return keys, vals, nil
+	return codec.DecodeBlock(p, keys, vals, maxRecordBytes/2)
 }
 
 // RemoveSnapshotsBefore deletes snapshots older than seq; called after the

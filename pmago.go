@@ -110,6 +110,14 @@ func WithWorkers(n int) Option { return func(c *config) { c.core.Workers = n } }
 // ModeOneByOne).
 func WithAdaptive() Option { return func(c *config) { c.core.Adaptive = true } }
 
+// WithCompressedChunks stores each segment as a delta-encoded block instead
+// of fixed 16-byte slots: several times less memory for dense key runs, at
+// the cost of a bounded per-segment decode on reads and a re-encode on
+// writes. Semantics are identical; snapshots written by compressed and
+// uncompressed stores are interchangeable. Applies to every constructor
+// (per shard under WithShards).
+func WithCompressedChunks() Option { return func(c *config) { c.core.CompressedChunks = true } }
+
 // durOpt marks c as carrying the named durability-only option; the
 // in-memory constructors reject such configs instead of dropping the option.
 func (c *config) durOpt(name string) { c.durOpts = append(c.durOpts, name) }

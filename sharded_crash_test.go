@@ -29,9 +29,15 @@ type shardedCrashOp struct {
 // exactly the ops whose shard-j records fit under shard j's cut, and the
 // untouched shards lose nothing.
 func TestShardedCrashRecoveryProperty(t *testing.T) {
+	t.Run("uncompressed", func(t *testing.T) { shardedCrashProperty(t) })
+	t.Run("compressed", func(t *testing.T) { shardedCrashProperty(t, WithCompressedChunks()) })
+}
+
+func shardedCrashProperty(t *testing.T, extra ...Option) {
 	const shards = 3
 	dir := t.TempDir()
-	s, err := OpenSharded(dir, WithShards(shards), WithFsync(FsyncAlways), WithCompactRatio(0))
+	opts := append([]Option{WithShards(shards), WithFsync(FsyncAlways), WithCompactRatio(0)}, extra...)
+	s, err := OpenSharded(dir, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +180,10 @@ func TestShardedCrashRecoveryProperty(t *testing.T) {
 			}
 		}
 
-		re, err := OpenSharded(trialDir)
+		// Reopen with the same representation options: WAL replay itself is
+		// representation-independent, but the recovered store must rebuild
+		// and validate under the configuration that wrote the log.
+		re, err := OpenSharded(trialDir, extra...)
 		if err != nil {
 			t.Fatalf("trial %d (cuts %v torn %v): reopen: %v", trial, cuts, torn, err)
 		}
