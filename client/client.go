@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"pmago"
+	"pmago/internal/obs"
 	"pmago/internal/wire"
 )
 
@@ -51,6 +52,9 @@ type Options struct {
 	// this many pairs (default 65536), keeping frames under the protocol's
 	// payload bound.
 	MaxBatch int
+	// DisableMetrics turns off the client-side latency recording readable
+	// via LocalStats (queue wait, per-op RTT windows, outcome counters).
+	DisableMetrics bool
 }
 
 func (o Options) withDefaults() Options {
@@ -71,6 +75,7 @@ func (o Options) withDefaults() Options {
 type Client struct {
 	addr   string
 	opts   Options
+	m      *obs.ClientMetrics // nil when DisableMetrics
 	nextID atomic.Uint64
 	next   atomic.Uint64 // round-robin cursor
 
@@ -83,6 +88,9 @@ type Client struct {
 // eagerly so configuration errors surface here; the rest dial on demand.
 func Dial(addr string, opts Options) (*Client, error) {
 	c := &Client{addr: addr, opts: opts.withDefaults()}
+	if !c.opts.DisableMetrics {
+		c.m = &obs.ClientMetrics{}
+	}
 	c.conns = make([]*poolConn, c.opts.Conns)
 	pc, err := c.dialSlot(0)
 	if err != nil {
@@ -184,15 +192,31 @@ func (c *Client) DeleteBatch(keys []int64) (int, error) {
 // returns false. Chunks arrive as the server produces them; returning
 // false sends a cancel and drains the remaining stream.
 func (c *Client) Scan(lo, hi int64, fn func(k, v int64) bool) error {
+	var t0 time.Time
+	if c.m != nil {
+		t0 = time.Now()
+	}
 	pc, err := c.conn()
 	if err != nil {
+		if c.m != nil {
+			c.m.Errors.Inc()
+		}
 		return err
 	}
 	cl := newCall(16)
 	defer close(cl.done)
 	id := c.nextID.Add(1)
 	if err := pc.issue(id, cl, &wire.Request{Op: wire.OpScan, ID: id, Key: lo, Val: hi}); err != nil {
+		if c.m != nil {
+			c.m.Errors.Inc()
+		}
 		return err
+	}
+	var tw time.Time
+	if c.m != nil {
+		tw = time.Now()
+		c.m.QueueWait.ObserveDuration(tw.Sub(t0))
+		c.m.Requests[obs.ServerOpScan].Inc()
 	}
 	defer pc.forget(id)
 	timer := time.NewTimer(c.opts.Timeout)
@@ -220,18 +244,46 @@ func (c *Client) Scan(lo, hi int64, fn func(k, v int64) bool) error {
 				}
 				timer.Reset(c.opts.Timeout)
 			case wire.StatusOK:
+				if c.m != nil {
+					// RTT of the whole stream: issue to final frame.
+					c.m.RTT[obs.ServerOpScan].ObserveDuration(time.Since(tw))
+				}
 				return nil
 			case wire.StatusBusy:
+				if c.m != nil {
+					c.m.Busy.Inc()
+				}
 				return ErrBusy
 			case wire.StatusErr:
+				if c.m != nil {
+					c.m.Errors.Inc()
+				}
 				return fmt.Errorf("client: server error: %s", resp.Err)
 			}
 		case <-pc.broken:
+			if c.m != nil {
+				c.m.Errors.Inc()
+			}
 			return pc.err()
 		case <-timer.C:
+			if c.m != nil {
+				c.m.Timeouts.Inc()
+			}
 			return ErrTimeout
 		}
 	}
+}
+
+// ClientStats is the client-side latency snapshot returned by LocalStats.
+type ClientStats = obs.ClientSnapshot
+
+// LocalStats snapshots this client's own latency recording: queue wait
+// (connection checkout + frame write), per-op RTT windows over the trailing
+// interval, and outcome counters. RTT minus the server's windowed request
+// total approximates network plus the server's inbound read queue — the two
+// sides together attribute a slow round trip. Zero when DisableMetrics.
+func (c *Client) LocalStats() ClientStats {
+	return c.m.Snapshot()
 }
 
 // Stats fetches the server's full metrics snapshot — the backing store's
@@ -264,25 +316,57 @@ func respErr(resp *wire.Response) error {
 // roundTrip issues one single-response request and waits for its response
 // or the timeout.
 func (c *Client) roundTrip(req *wire.Request) (*wire.Response, error) {
+	var t0 time.Time
+	if c.m != nil {
+		t0 = time.Now()
+	}
 	pc, err := c.conn()
 	if err != nil {
+		if c.m != nil {
+			c.m.Errors.Inc()
+		}
 		return nil, err
 	}
 	cl := newCall(1)
 	defer close(cl.done)
 	req.ID = c.nextID.Add(1)
 	if err := pc.issue(req.ID, cl, req); err != nil {
+		if c.m != nil {
+			c.m.Errors.Inc()
+		}
 		return nil, err
+	}
+	var tw time.Time
+	op := obs.ServerOp(req.Op - wire.OpPut)
+	if c.m != nil {
+		tw = time.Now()
+		c.m.QueueWait.ObserveDuration(tw.Sub(t0))
+		c.m.Requests[op].Inc()
 	}
 	timer := time.NewTimer(c.opts.Timeout)
 	defer timer.Stop()
 	select {
 	case resp := <-cl.ch:
+		if c.m != nil {
+			c.m.RTT[op].ObserveDuration(time.Since(tw))
+			switch resp.Status {
+			case wire.StatusBusy:
+				c.m.Busy.Inc()
+			case wire.StatusErr:
+				c.m.Errors.Inc()
+			}
+		}
 		return &resp, nil
 	case <-pc.broken:
+		if c.m != nil {
+			c.m.Errors.Inc()
+		}
 		return nil, pc.err()
 	case <-timer.C:
 		pc.forget(req.ID)
+		if c.m != nil {
+			c.m.Timeouts.Inc()
+		}
 		return nil, ErrTimeout
 	}
 }
@@ -324,6 +408,9 @@ func (c *Client) dialSlot(slot int) (*poolConn, error) {
 	nc, err := net.Dial("tcp", c.addr)
 	if err != nil {
 		return nil, err
+	}
+	if c.m != nil {
+		c.m.Dials.Inc()
 	}
 	pc := &poolConn{nc: nc, broken: make(chan struct{}),
 		bw: bufio.NewWriterSize(nc, 64<<10), pending: make(map[uint64]*call)}

@@ -329,15 +329,36 @@ func printWire(sc bench.Scale, maxClients int, report *bench.Report, stats bool)
 		report.Add("wire", "latency_p99", labels, "s", r.P99.Seconds())
 		report.Add("wire", "commit_batch_avg", labels, "ops", r.BatchAvg)
 		report.Add("wire", "commit_batch_max", labels, "ops", float64(r.BatchMax))
+		if r.Trace != nil {
+			// Server-side windowed percentiles at cell end: unlike the
+			// client-measured rows above these exclude the network and
+			// decompose into stages in the stats rows.
+			for _, op := range r.Trace.Ops {
+				if op.Total.Count == 0 {
+					continue
+				}
+				wl := map[string]string{"clients": labels["clients"], "op": op.Op}
+				report.Add("wire", "window_p50", wl, "s", op.Total.P50*1e-9)
+				report.Add("wire", "window_p95", wl, "s", op.Total.P95*1e-9)
+				report.Add("wire", "window_p99", wl, "s", op.Total.P99*1e-9)
+				if op.Op == "put" {
+					fmt.Printf("   windowed put: p50 %8s  p95 %8s  p99 %8s  p999 %8s (server-side, trailing window)\n",
+						time.Duration(op.Total.P50), time.Duration(op.Total.P95),
+						time.Duration(op.Total.P99), time.Duration(op.Total.P999))
+				}
+			}
+		}
 	}
 	if stats {
 		// Cumulative serving-layer snapshot after the whole sweep, fetched
-		// through the protocol's own stats op.
-		last := rs[len(rs)-1].ServerStat
+		// through the protocol's own stats op; Trace carries the final
+		// cell's windowed per-stage tails into stats_trace_* rows.
+		final := rs[len(rs)-1]
+		last := final.ServerStat
 		fmt.Printf("   server totals: %d conns, %s in / %s out, %d group commits, %d busy\n",
 			last.ConnsOpened, byteSize(int64(last.BytesRead)), byteSize(int64(last.BytesWritten)),
 			last.GroupCommits, last.Busy)
-		report.AddStats("wire", nil, obs.Snapshot{Server: last})
+		report.AddStats("wire", nil, obs.Snapshot{Server: last, Trace: final.Trace})
 	}
 	fmt.Println()
 }

@@ -3,7 +3,17 @@
 // store, selected by flags — the serving layer consumes the pmago.Store
 // interface, so one binary covers all three. A side HTTP port exposes the
 // live metrics (JSON and Prometheus text) via pmago.Handler, including the
-// serving-layer section (request latencies, group-commit batch sizes).
+// serving-layer section (request latencies, windowed per-stage tail
+// percentiles, group-commit batch sizes), plus net/http/pprof profiling
+// under /debug/pprof/.
+//
+// -slow sets the slow-op flight recorder's capture threshold: any request
+// whose total handling time reaches it is recorded with its full stage
+// breakdown (decode, queue, commit wait, apply, respond), readable as JSON
+// at /debug/pmago/slow on the -http port; a 1-in-4096 uniform sample rides
+// along for baseline comparison, and a periodic summary line (ops/s and
+// windowed p99 per op) is logged. -slow 0 keeps the default 20ms
+// threshold; a negative value disables threshold capture.
 //
 // Examples:
 //
@@ -11,6 +21,7 @@
 //	pmaserve -addr :7070 -dir /var/lib/pmago               # durable, fsync always
 //	pmaserve -addr :7070 -dir /var/lib/pmago -shards 4     # sharded durable
 //	pmaserve -addr :7070 -dir /var/lib/pmago -fsync none   # fast, no power-loss guarantee
+//	pmaserve -addr :7070 -http :7071 -slow 5ms             # record requests over 5ms
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: in-flight requests complete
 // and flush (bounded by -drain), then the store closes cleanly.
@@ -22,6 +33,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -39,6 +51,7 @@ func main() {
 		fsync    = flag.String("fsync", "always", "WAL fsync policy for durable stores: always|interval|none")
 		shards   = flag.Int("shards", 0, "shard count; 0 serves an unsharded store")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget")
+		slow     = flag.Duration("slow", 0, "slow-op flight-recorder threshold (0 = default 20ms, negative disables)")
 	)
 	flag.Parse()
 	log := slog.New(slog.NewTextHandler(os.Stderr, nil))
@@ -49,10 +62,19 @@ func main() {
 		os.Exit(1)
 	}
 
-	srv := server.New(store, server.Options{Logger: log})
+	srv := server.New(store, server.Options{
+		Logger:          log,
+		SlowOpThreshold: *slow,
+		SummaryEvery:    10 * time.Second,
+	})
 	if *httpAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/debug/pmago/", pmago.Handler(srv))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		hs := &http.Server{Addr: *httpAddr, Handler: mux}
 		go func() {
 			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {

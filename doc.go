@@ -132,6 +132,19 @@
 // Counter reads during concurrent operation are safe and monotonic per
 // stripe but not a consistent cut; quiesce first for exact totals.
 //
+// Sliding-window histograms (internal/obs.Window) extend the same contract
+// to tail latency: WAL append/fsync timings, the served request path and
+// the client's RTT recording each keep a ring of bucketed sub-windows
+// rotated on a coarse clock, so snapshots answer "p99 over the trailing
+// ~10s" instead of "since process start". Window consistency mirrors the
+// counters: each sub-window is monotonic under concurrent observes, but a
+// snapshot is not a consistent cut — observations racing a slot rotation
+// can land in either slot or (rarely, bounded) be dropped, and the
+// interpolated percentiles carry the log2 buckets' relative error. Served
+// stores additionally expose per-request stage attribution (decode, queue,
+// commit wait, apply, respond — stages that partition each request's
+// handling time) and a slow-op flight recorder; see pmago/server.
+//
 // The snapshots obey documented cross-counter invariants, and Validate
 // checks them live: latched Get serves never exceed recorded probe
 // failures, and combined (queue-absorbed) ops never exceed drained plus

@@ -119,6 +119,14 @@ func (r *Report) AddStats(experiment string, labels map[string]string, s obs.Sna
 		if scale == 0 {
 			scale = 1
 		}
+		if p.Win != nil {
+			r.Add(experiment, "stats_"+p.Name+"_count", l, "observations", float64(p.Win.Count))
+			r.Add(experiment, "stats_"+p.Name+"_p50", l, p.Unit, p.Win.P50*scale)
+			r.Add(experiment, "stats_"+p.Name+"_p95", l, p.Unit, p.Win.P95*scale)
+			r.Add(experiment, "stats_"+p.Name+"_p99", l, p.Unit, p.Win.P99*scale)
+			r.Add(experiment, "stats_"+p.Name+"_p999", l, p.Unit, p.Win.P999*scale)
+			continue
+		}
 		if p.Dist == nil {
 			r.Add(experiment, "stats_"+p.Name, l, p.Unit, float64(p.Value)*scale)
 			continue

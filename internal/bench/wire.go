@@ -35,6 +35,7 @@ type WireResult struct {
 	BatchAvg   float64 // puts per group commit
 	BatchMax   uint64
 	ServerStat *obs.ServerSnapshot // cumulative, from the final cell's fetch
+	Trace      *obs.TraceSnapshot  // windowed per-stage tails at cell end
 }
 
 // WireClientCounts doubles from 1 to max (always including max).
@@ -84,17 +85,19 @@ func RunWire(sc Scale, maxClients int) []WireResult {
 		opsPerClient = 64
 	}
 
-	statsOf := func() *obs.ServerSnapshot {
-		if st := srv.Stats(); st.Server != nil {
-			return st.Server
+	statsOf := func() (*obs.ServerSnapshot, *obs.TraceSnapshot) {
+		st := srv.Stats()
+		sv := st.Server
+		if sv == nil {
+			sv = &obs.ServerSnapshot{}
 		}
-		return &obs.ServerSnapshot{}
+		return sv, st.Trace
 	}
 
 	var results []WireResult
 	keyBase := int64(1)
 	for _, clients := range WireClientCounts(maxClients) {
-		before := statsOf()
+		before, _ := statsOf()
 		latencies := make([][]time.Duration, clients)
 		conns := make([]*client.Client, clients)
 		for i := range conns {
@@ -125,7 +128,11 @@ func RunWire(sc Scale, maxClients int) []WireResult {
 		}
 		wg.Wait()
 		elapsed := time.Since(start)
-		after := statsOf()
+		// Snapshot immediately after the cell's last op: the windowed
+		// percentiles cover the trailing interval, so this is the cell's own
+		// traffic (cells shorter than the window see a bit of the previous
+		// cell's tail — acceptable for trend rows).
+		after, trace := statsOf()
 		for _, cl := range conns {
 			cl.Close()
 		}
@@ -152,6 +159,7 @@ func RunWire(sc Scale, maxClients int) []WireResult {
 			Commits:    after.CommitOps.Count - before.CommitOps.Count,
 			BatchMax:   after.CommitOps.Max,
 			ServerStat: after,
+			Trace:      trace,
 		}
 		if res.Commits > 0 {
 			res.BatchAvg = float64(after.CommitOps.Sum-before.CommitOps.Sum) / float64(res.Commits)

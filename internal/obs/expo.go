@@ -16,6 +16,7 @@ type Point struct {
 	Labels map[string]string // nil for most points; shard index for routing
 	Value  uint64            // scalar value (counters/gauges)
 	Dist   *Distribution     // non-nil for histogram points (Value unused)
+	Win    *WindowSnapshot   // non-nil for sliding-window points (summary exposition)
 	Scale  float64           // exposition multiplier: 1e-9 for ns→seconds, else 0 (=1)
 	Unit   string            // "ops", "bytes", "seconds", ... (JSON rows only)
 	Gauge  bool              // TYPE gauge instead of counter
@@ -29,6 +30,10 @@ func (s Snapshot) Points() []Point {
 	d := func(name, unit string, dist Distribution, scale float64) Point {
 		dd := dist
 		return Point{Name: name, Unit: unit, Dist: &dd, Scale: scale}
+	}
+	win := func(name, unit string, ws WindowSnapshot, scale float64, labels map[string]string) Point {
+		ww := ws
+		return Point{Name: name, Unit: unit, Win: &ww, Scale: scale, Labels: labels}
 	}
 	pts := []Point{
 		c("reads_get_optimistic_total", "ops", s.Reads.GetOptimistic),
@@ -64,6 +69,8 @@ func (s Snapshot) Points() []Point {
 			c("wal_fsyncs_total", "fsyncs", s.WAL.Fsyncs),
 			d("wal_fsync_duration_seconds", "seconds", s.WAL.FsyncNanos, 1e-9),
 			d("wal_group_commit_records", "records", s.WAL.GroupCommitRecords, 0),
+			win("wal_append_window_seconds", "seconds", s.WAL.AppendWindow, 1e-9, nil),
+			win("wal_fsync_window_seconds", "seconds", s.WAL.FsyncWindow, 1e-9, nil),
 			c("checkpoint_snapshots_total", "snapshots", s.Checkpoint.Snapshots),
 			c("checkpoint_auto_compactions_total", "compactions", s.Checkpoint.AutoCompactions),
 			c("checkpoint_pairs_written_total", "pairs", s.Checkpoint.PairsWritten),
@@ -114,6 +121,17 @@ func (s Snapshot) Points() []Point {
 			)
 		}
 	}
+	if tr := s.Trace; tr != nil {
+		for _, op := range tr.Ops {
+			pts = append(pts, win("trace_request_window_seconds", "seconds", op.Total, 1e-9,
+				map[string]string{"op": op.Op}))
+			for _, st := range op.Stages {
+				pts = append(pts, win("trace_stage_window_seconds", "seconds", st.Window, 1e-9,
+					map[string]string{"op": op.Op, "stage": st.Stage}))
+			}
+		}
+		pts = append(pts, win("trace_flush_window_seconds", "seconds", tr.Flush, 1e-9, nil))
+	}
 	return pts
 }
 
@@ -121,7 +139,10 @@ func (s Snapshot) Points() []Point {
 // (version 0.0.4), hand-rolled to keep the module dependency-free. Scalars
 // become counters (or gauges), distributions become native histogram
 // series: cumulative `_bucket{le="..."}` plus `_sum` and `_count`, with
-// nanosecond distributions scaled to seconds via Point.Scale.
+// nanosecond distributions scaled to seconds via Point.Scale. Sliding
+// windows become summary series — precomputed `{quantile="0.99"}` values
+// plus `_sum`/`_count` — with the caveat that, unlike a textbook summary,
+// sum and count cover the trailing window, not the process lifetime.
 func WritePrometheus(w io.Writer, prefix string, s Snapshot) error {
 	if prefix != "" && !strings.HasSuffix(prefix, "_") {
 		prefix += "_"
@@ -140,6 +161,9 @@ func WritePrometheus(w io.Writer, prefix string, s Snapshot) error {
 		if p.Dist != nil {
 			kind = "histogram"
 		}
+		if p.Win != nil {
+			kind = "summary"
+		}
 		if !typed[name] {
 			typed[name] = true
 			fmt.Fprintf(ew, "# TYPE %s %s\n", name, kind)
@@ -148,26 +172,37 @@ func WritePrometheus(w io.Writer, prefix string, s Snapshot) error {
 		if scale == 0 {
 			scale = 1
 		}
-		if p.Dist == nil {
-			fmt.Fprintf(ew, "%s%s %s\n", name, labelString(p.Labels, ""), formatScaled(p.Value, scale))
-			continue
+		switch {
+		case p.Win != nil:
+			for _, qv := range [...]struct {
+				q string
+				v float64
+			}{{"0.5", p.Win.P50}, {"0.95", p.Win.P95}, {"0.99", p.Win.P99}, {"0.999", p.Win.P999}} {
+				fmt.Fprintf(ew, "%s%s %g\n", name, labelString(p.Labels, "quantile", qv.q), qv.v*scale)
+			}
+			fmt.Fprintf(ew, "%s_sum%s %s\n", name, labelString(p.Labels, "", ""), formatScaled(p.Win.Sum, scale))
+			fmt.Fprintf(ew, "%s_count%s %d\n", name, labelString(p.Labels, "", ""), p.Win.Count)
+		case p.Dist != nil:
+			var cum uint64
+			for _, b := range p.Dist.Buckets {
+				cum += b.N
+				fmt.Fprintf(ew, "%s_bucket%s %d\n", name, labelString(p.Labels, "le", formatScaled(b.Le, scale)), cum)
+			}
+			fmt.Fprintf(ew, "%s_bucket%s %d\n", name, labelString(p.Labels, "le", "+Inf"), p.Dist.Count)
+			fmt.Fprintf(ew, "%s_sum%s %s\n", name, labelString(p.Labels, "", ""), formatScaled(p.Dist.Sum, scale))
+			fmt.Fprintf(ew, "%s_count%s %d\n", name, labelString(p.Labels, "", ""), p.Dist.Count)
+		default:
+			fmt.Fprintf(ew, "%s%s %s\n", name, labelString(p.Labels, "", ""), formatScaled(p.Value, scale))
 		}
-		var cum uint64
-		for _, b := range p.Dist.Buckets {
-			cum += b.N
-			fmt.Fprintf(ew, "%s_bucket%s %d\n", name, labelString(p.Labels, formatScaled(b.Le, scale)), cum)
-		}
-		fmt.Fprintf(ew, "%s_bucket%s %d\n", name, labelString(p.Labels, "+Inf"), p.Dist.Count)
-		fmt.Fprintf(ew, "%s_sum%s %s\n", name, labelString(p.Labels, ""), formatScaled(p.Dist.Sum, scale))
-		fmt.Fprintf(ew, "%s_count%s %d\n", name, labelString(p.Labels, ""), p.Dist.Count)
 	}
 	return ew.err
 }
 
-// labelString renders a label set ({shard="3",le="0.001"} or empty). le is
-// appended last when non-empty, per Prometheus histogram convention.
-func labelString(labels map[string]string, le string) string {
-	if len(labels) == 0 && le == "" {
+// labelString renders a label set ({shard="3",le="0.001"} or empty). The
+// extra pair — le for histogram buckets, quantile for summaries — is
+// appended last when non-empty, per Prometheus convention.
+func labelString(labels map[string]string, extraKey, extraVal string) string {
+	if len(labels) == 0 && extraVal == "" {
 		return ""
 	}
 	keys := make([]string, 0, len(labels))
@@ -183,11 +218,11 @@ func labelString(labels map[string]string, le string) string {
 		}
 		fmt.Fprintf(&b, "%s=%q", k, labels[k])
 	}
-	if le != "" {
+	if extraVal != "" {
 		if len(keys) > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "le=%q", le)
+		fmt.Fprintf(&b, "%s=%q", extraKey, extraVal)
 	}
 	b.WriteByte('}')
 	return b.String()

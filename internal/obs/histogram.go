@@ -49,7 +49,10 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 
 // Snapshot copies the histogram into a Distribution, dropping empty
 // buckets. Safe on a nil receiver (returns the zero Distribution), so
-// disabled-metrics owners can snapshot unconditionally.
+// disabled-metrics owners can snapshot unconditionally. The reads are racy
+// by contract, so Max is clamped up to the floor of the highest non-empty
+// bucket: a torn max-vs-buckets read can otherwise report Max below values
+// the buckets prove were observed (even Max < Mean).
 func (h *Histogram) Snapshot() Distribution {
 	var d Distribution
 	if h == nil {
@@ -63,6 +66,7 @@ func (h *Histogram) Snapshot() Distribution {
 			d.Buckets = append(d.Buckets, HistBucket{Le: bucketBound(i), N: n})
 		}
 	}
+	d.clampMax()
 	return d
 }
 
@@ -73,6 +77,16 @@ func bucketBound(i int) uint64 {
 		return math.MaxUint64
 	}
 	return 1<<uint(i) - 1
+}
+
+// bucketFloor is the inclusive lower bound of the bucket whose upper bound
+// is le: 0 for the zero bucket, otherwise 2^(i-1) — le/2+1 works for every
+// le = 2^i - 1 including the saturated top bucket.
+func bucketFloor(le uint64) uint64 {
+	if le == 0 {
+		return 0
+	}
+	return le/2 + 1
 }
 
 // HistBucket is one non-empty bucket of a Distribution: N observations
@@ -98,6 +112,54 @@ func (d Distribution) Mean() float64 {
 		return 0
 	}
 	return float64(d.Sum) / float64(d.Count)
+}
+
+// Quantile returns the q-quantile (q clamped to [0, 1]) by walking the
+// cumulative bucket counts to the target rank and interpolating linearly
+// within the log2 bucket that contains it, clamped to the recorded Max so a
+// wide top bucket cannot report a value nothing reached. Empty
+// distributions return 0. Because bucket counts merge exactly, quantiles of
+// a merged (e.g. sharded) distribution are computed the same way — never by
+// averaging per-shard quantiles.
+func (d Distribution) Quantile(q float64) float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	switch {
+	case q < 0:
+		q = 0
+	case q > 1:
+		q = 1
+	}
+	rank := q * float64(d.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum uint64
+	for _, b := range d.Buckets {
+		if float64(cum)+float64(b.N) < rank {
+			cum += b.N
+			continue
+		}
+		lo := float64(bucketFloor(b.Le))
+		frac := (rank - float64(cum)) / float64(b.N)
+		v := lo + frac*(float64(b.Le)-lo)
+		if d.Max > 0 && v > float64(d.Max) {
+			v = float64(d.Max)
+		}
+		return v
+	}
+	return float64(d.Max)
+}
+
+// clampMax raises Max to the floor of the highest non-empty bucket — the
+// racy-snapshot repair Snapshot and the window fold apply.
+func (d *Distribution) clampMax() {
+	if n := len(d.Buckets); n > 0 {
+		if floor := bucketFloor(d.Buckets[n-1].Le); d.Max < floor {
+			d.Max = floor
+		}
+	}
 }
 
 // merge folds o into d (sharded stores sum their shards' snapshots).

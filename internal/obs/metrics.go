@@ -180,16 +180,27 @@ type WALMetrics struct {
 	Fsyncs      Counter
 	FsyncNanos  Histogram
 	GroupCommit Histogram
+
+	// AppendWindow/FsyncWindow are the sliding-window mirrors of the append
+	// and fsync latencies: AppendWindow times each append call end to end
+	// (mutex wait + encode + the kernel write), FsyncWindow each File.Sync —
+	// the store-side attribution for the serving layer's StageApply, and the
+	// only attribution an embedded user needs. Cumulative histograms answer
+	// "since start"; these answer "over the last ten seconds".
+	AppendWindow Window
+	FsyncWindow  Window
 }
 
 // WALSnapshot is the WAL section of a snapshot.
 type WALSnapshot struct {
-	Appends            uint64       `json:"appends"`
-	AppendBytes        uint64       `json:"append_bytes"`
-	Rotations          uint64       `json:"rotations"`
-	Fsyncs             uint64       `json:"fsyncs"`
-	FsyncNanos         Distribution `json:"fsync_nanos"`
-	GroupCommitRecords Distribution `json:"group_commit_records"`
+	Appends            uint64         `json:"appends"`
+	AppendBytes        uint64         `json:"append_bytes"`
+	Rotations          uint64         `json:"rotations"`
+	Fsyncs             uint64         `json:"fsyncs"`
+	FsyncNanos         Distribution   `json:"fsync_nanos"`
+	GroupCommitRecords Distribution   `json:"group_commit_records"`
+	AppendWindow       WindowSnapshot `json:"append_window"`
+	FsyncWindow        WindowSnapshot `json:"fsync_window"`
 }
 
 // Snapshot copies the live counters (nil-safe).
@@ -204,6 +215,8 @@ func (m *WALMetrics) Snapshot() WALSnapshot {
 		Fsyncs:             m.Fsyncs.Load(),
 		FsyncNanos:         m.FsyncNanos.Snapshot(),
 		GroupCommitRecords: m.GroupCommit.Snapshot(),
+		AppendWindow:       m.AppendWindow.Snapshot(),
+		FsyncWindow:        m.FsyncWindow.Snapshot(),
 	}
 }
 
@@ -214,6 +227,8 @@ func (s WALSnapshot) merge(o WALSnapshot) WALSnapshot {
 	s.Fsyncs += o.Fsyncs
 	s.FsyncNanos = s.FsyncNanos.merge(o.FsyncNanos)
 	s.GroupCommitRecords = s.GroupCommitRecords.merge(o.GroupCommitRecords)
+	s.AppendWindow = s.AppendWindow.merge(o.AppendWindow)
+	s.FsyncWindow = s.FsyncWindow.merge(o.FsyncWindow)
 	return s
 }
 
@@ -310,6 +325,9 @@ type Snapshot struct {
 	// Server is the serving-layer section, set only on snapshots taken
 	// through a pmago/server.Server.
 	Server *ServerSnapshot `json:"server,omitempty"`
+	// Trace is the request-path tracing section (per-op, per-stage sliding
+	// windows), set alongside Server by pmago/server.Server.
+	Trace *TraceSnapshot `json:"trace,omitempty"`
 }
 
 // Merge sums o into s, returning the result (sharded aggregation). The
@@ -326,6 +344,9 @@ func (s Snapshot) Merge(o Snapshot) Snapshot {
 	}
 	if s.Server == nil {
 		s.Server = o.Server
+	}
+	if s.Trace == nil {
+		s.Trace = o.Trace
 	}
 	return s
 }

@@ -6,8 +6,8 @@ package obs
 // hot-path cheap — striped counter increments and lock-free histogram
 // observes — and nil-safe to snapshot.
 type ServerMetrics struct {
-	// Per-op request counters and handling latency (from dispatch to the
-	// response frame being queued), indexed by ServerOp.
+	// Per-op request counters and handling latency (from frame decode to
+	// the response frame being queued), indexed by ServerOp.
 	Requests [NumServerOps]Counter
 	OpNanos  [NumServerOps]Histogram
 

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultWindowInterval is the trailing interval a zero-value Window covers.
+const DefaultWindowInterval = 10 * time.Second
+
+// winSlots is the sub-window count of a Window: the trailing interval is
+// split into winSlots equal slots, and a snapshot folds the slots whose
+// absolute slot number still falls inside the interval. More slots smooth
+// the roll-off (old observations leave one slot at a time); eight keeps the
+// footprint small while the newest ~7/8 of the interval is always covered.
+const winSlots = 8
+
+// winSlot is one sub-window: a bucketed histogram plus the absolute slot
+// number it currently holds. id publishes slot+1 (0 = never used); claim is
+// the rotation latch — a writer that finds the slot stale CASes claim to
+// the slot it wants, clears the counters, then publishes id.
+type winSlot struct {
+	id      atomic.Int64
+	claim   atomic.Int64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	max     atomic.Uint64
+	buckets [histBuckets]atomic.Uint64
+}
+
+// Window is a concurrent sliding-window histogram: a ring of winSlots
+// log2-bucketed sub-windows rotated on a coarse clock, answering "what was
+// the distribution over the trailing interval" where a Histogram can only
+// answer "since the process started". Observe is allocation-free — plain
+// atomics, like Counter and Histogram — and the zero value is ready to use
+// with DefaultWindowInterval; NewWindow picks another interval.
+//
+// Consistency: each sub-window is monotonic under concurrent observes but a
+// snapshot is not a consistent cut, and rotation at a slot boundary can
+// lose or misattribute the few observations racing the reset — bounded slop
+// that metrics tolerate by design (the same contract as the striped
+// counters). Quantiles interpolate within log2 buckets, so they carry the
+// buckets' relative error (below ~41% of the value, typically far less).
+type Window struct {
+	// interval is immutable after construction (zero = default); clock is
+	// the test seam — nil means the wall clock.
+	interval time.Duration
+	clock    func() int64
+	slots    [winSlots]winSlot
+}
+
+// NewWindow returns a Window covering the trailing interval (0 or negative
+// selects DefaultWindowInterval).
+func NewWindow(interval time.Duration) *Window {
+	if interval <= 0 {
+		interval = DefaultWindowInterval
+	}
+	return &Window{interval: interval}
+}
+
+func (w *Window) slotNanos() int64 {
+	iv := w.interval
+	if iv <= 0 {
+		iv = DefaultWindowInterval
+	}
+	return int64(iv) / winSlots
+}
+
+func (w *Window) now() int64 {
+	if w.clock != nil {
+		return w.clock()
+	}
+	return time.Now().UnixNano()
+}
+
+// Observe records one value at the current time.
+func (w *Window) Observe(v uint64) {
+	if w == nil {
+		return
+	}
+	w.ObserveAt(w.now(), v)
+}
+
+// ObserveDuration records a duration in nanoseconds (negative clamps to 0).
+func (w *Window) ObserveDuration(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	w.Observe(uint64(d))
+}
+
+// ObserveAt records one value at an explicit clock reading, letting owners
+// that already hold a timestamp avoid a second clock read.
+func (w *Window) ObserveAt(now int64, v uint64) {
+	if w == nil {
+		return
+	}
+	if now < 0 {
+		now = 0
+	}
+	slot := now / w.slotNanos()
+	s := &w.slots[uint64(slot)%winSlots]
+	w.rotate(s, slot+1)
+	s.count.Add(1)
+	s.sum.Add(v)
+	for {
+		cur := s.max.Load()
+		if cur >= v || s.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	s.buckets[bits.Len64(v)].Add(1)
+}
+
+// rotate makes s hold absolute slot id `want` (1-based), clearing it if it
+// still holds an older lap. Exactly one racer wins the claim CAS and
+// resets; the losers spin briefly for the publish so their counts land in
+// the cleared slot — the wait is bounded (the clear is ~70 atomic stores),
+// and a racer that exhausts it records anyway, accepting the slop the type
+// documents.
+func (w *Window) rotate(s *winSlot, want int64) {
+	if s.id.Load() >= want {
+		return
+	}
+	for {
+		c := s.claim.Load()
+		if c >= want {
+			for i := 0; i < 1<<14 && s.id.Load() < c; i++ {
+			}
+			return
+		}
+		if s.claim.CompareAndSwap(c, want) {
+			s.count.Store(0)
+			s.sum.Store(0)
+			s.max.Store(0)
+			for i := range s.buckets {
+				s.buckets[i].Store(0)
+			}
+			s.id.Store(want)
+			return
+		}
+	}
+}
+
+// Snapshot folds the slots still inside the trailing interval into a
+// WindowSnapshot with precomputed quantiles. Nil-safe.
+func (w *Window) Snapshot() WindowSnapshot {
+	if w == nil {
+		return WindowSnapshot{}
+	}
+	return w.SnapshotAt(w.now())
+}
+
+// SnapshotAt is Snapshot at an explicit clock reading.
+func (w *Window) SnapshotAt(now int64) WindowSnapshot {
+	var ws WindowSnapshot
+	if w == nil {
+		return ws
+	}
+	if now < 0 {
+		now = 0
+	}
+	cur := now / w.slotNanos()
+	oldest := cur - winSlots + 1
+	var d Distribution
+	var totals [histBuckets]uint64
+	for i := range w.slots {
+		s := &w.slots[i]
+		id := s.id.Load() - 1
+		if s.id.Load() == 0 || id < oldest || id > cur {
+			continue
+		}
+		d.Count += s.count.Load()
+		d.Sum += s.sum.Load()
+		if m := s.max.Load(); m > d.Max {
+			d.Max = m
+		}
+		for b := range s.buckets {
+			totals[b] += s.buckets[b].Load()
+		}
+	}
+	for i, n := range totals {
+		if n > 0 {
+			d.Buckets = append(d.Buckets, HistBucket{Le: bucketBound(i), N: n})
+		}
+	}
+	d.clampMax()
+	iv := w.interval
+	if iv <= 0 {
+		iv = DefaultWindowInterval
+	}
+	ws.Distribution = d
+	ws.IntervalNanos = uint64(iv)
+	ws.fillQuantiles()
+	return ws
+}
+
+// WindowSnapshot is the immutable snapshot of a Window: the trailing
+// interval's Distribution plus interpolated percentiles.
+type WindowSnapshot struct {
+	Distribution
+	IntervalNanos uint64  `json:"interval_nanos"`
+	P50           float64 `json:"p50"`
+	P95           float64 `json:"p95"`
+	P99           float64 `json:"p99"`
+	P999          float64 `json:"p999"`
+}
+
+func (s *WindowSnapshot) fillQuantiles() {
+	s.P50 = s.Quantile(0.50)
+	s.P95 = s.Quantile(0.95)
+	s.P99 = s.Quantile(0.99)
+	s.P999 = s.Quantile(0.999)
+}
+
+// merge folds o into s (sharded stores sum their shards' windows) and
+// recomputes the percentiles from the merged buckets — quantiles cannot be
+// averaged, but bucket counts merge exactly.
+func (s WindowSnapshot) merge(o WindowSnapshot) WindowSnapshot {
+	s.Distribution = s.Distribution.merge(o.Distribution)
+	if o.IntervalNanos > s.IntervalNanos {
+		s.IntervalNanos = o.IntervalNanos
+	}
+	s.fillQuantiles()
+	return s
+}

@@ -176,6 +176,13 @@ func (w *Log) AppendDeleteBatch(keys []int64) error {
 }
 
 func (w *Log) append(encode func([]byte) []byte) error {
+	// The append window times the whole call — mutex wait, encode, the
+	// kernel write — which is what a request-path caller experiences before
+	// any fsync wait; the fsync window (observeFsync) covers the rest.
+	var t0 time.Time
+	if w.o.Metrics != nil {
+		t0 = time.Now()
+	}
 	w.mu.Lock()
 	if w.err != nil {
 		err := w.err
@@ -212,6 +219,7 @@ func (w *Log) append(encode func([]byte) []byte) error {
 	if m := w.o.Metrics; m != nil {
 		m.Appends.Inc()
 		m.AppendBytes.Add(uint64(len(rec)))
+		m.AppendWindow.ObserveDuration(time.Since(t0))
 	}
 	target := w.written
 	w.mu.Unlock()
@@ -340,6 +348,7 @@ func (w *Log) observeFsync(d time.Duration, recsAtSync uint64) {
 	if m := w.o.Metrics; m != nil {
 		m.Fsyncs.Inc()
 		m.FsyncNanos.ObserveDuration(d)
+		m.FsyncWindow.ObserveDuration(d)
 		if delta := advanceMaxDelta(&w.recsSynced, recsAtSync); delta > 0 {
 			m.GroupCommit.Observe(delta)
 		}

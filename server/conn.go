@@ -86,7 +86,9 @@ func (c *conn) serve() {
 			return
 		}
 		buf = payload
+		var rt reqTimes
 		if m := c.srv.m; m != nil {
+			rt.start = time.Now()
 			m.BytesRead.Add(uint64(len(payload)) + 8)
 		}
 		if err := wire.DecodeRequest(payload, &req); err != nil {
@@ -94,7 +96,7 @@ func (c *conn) serve() {
 				"remote", c.nc.RemoteAddr(), "err", err)
 			return
 		}
-		c.dispatch(&req)
+		c.dispatch(&req, rt)
 	}
 }
 
@@ -105,7 +107,7 @@ func (c *conn) serve() {
 // (final) response is enqueued; over the token budget — or over the global
 // committer queue, or the per-connection scan budget — the request is
 // answered with an explicit busy response instead of being buffered.
-func (c *conn) dispatch(req *wire.Request) {
+func (c *conn) dispatch(req *wire.Request, rt reqTimes) {
 	s := c.srv
 	op := obs.ServerOp(req.Op - wire.OpPut)
 	if req.Op != wire.OpCancel && s.m != nil {
@@ -122,17 +124,17 @@ func (c *conn) dispatch(req *wire.Request) {
 		c.scanMu.Unlock()
 		return
 	}
-	var t0 time.Time
-	if s.m != nil {
-		t0 = time.Now()
+	errStr := validate(req)
+	if s.tr != nil {
+		rt.decoded = time.Now()
 	}
-	if err := validate(req); err != "" {
+	if errStr != "" {
 		c.pending.Add(1)
 		c.inflight.Add(1)
 		if s.m != nil {
 			s.m.Errors.Inc()
 		}
-		c.respond(&wire.Response{Status: wire.StatusErr, Op: req.Op, ID: req.ID, Err: err}, op, t0)
+		c.respond(&wire.Response{Status: wire.StatusErr, Op: req.Op, ID: req.ID, Err: errStr}, op, rt)
 		return
 	}
 	if c.inflight.Add(1) > int64(s.opts.MaxConnInflight) {
@@ -144,13 +146,26 @@ func (c *conn) dispatch(req *wire.Request) {
 	switch req.Op {
 	case wire.OpGet:
 		resp := wire.Response{Status: wire.StatusOK, Op: wire.OpGet, ID: req.ID}
+		if s.tr != nil {
+			rt.applyStart = time.Now()
+		}
 		err := s.apply(func() { resp.Val, resp.Found = s.store.Get(req.Key) })
+		if s.tr != nil {
+			rt.applyEnd = time.Now()
+		}
 		if err != nil {
 			resp = wire.Response{Status: wire.StatusErr, Op: wire.OpGet, ID: req.ID, Err: err.Error()}
 		}
-		c.respond(&resp, op, t0)
+		c.respond(&resp, op, rt)
 	case wire.OpStats:
-		c.respond(&wire.Response{Status: wire.StatusOK, Op: wire.OpStats, ID: req.ID, Blob: s.statsJSON()}, op, t0)
+		if s.tr != nil {
+			rt.applyStart = time.Now()
+		}
+		blob := s.statsJSON()
+		if s.tr != nil {
+			rt.applyEnd = time.Now()
+		}
+		c.respond(&wire.Response{Status: wire.StatusOK, Op: wire.OpStats, ID: req.ID, Blob: blob}, op, rt)
 	case wire.OpScan:
 		select {
 		case c.scanSem <- struct{}{}:
@@ -164,9 +179,9 @@ func (c *conn) dispatch(req *wire.Request) {
 		c.scanMu.Lock()
 		c.scans[req.ID] = cancel
 		c.scanMu.Unlock()
-		go c.runScan(req.ID, req.Key, req.Val, cancel, t0)
+		go c.runScan(req.ID, req.Key, req.Val, cancel, rt)
 	default: // writes: queue for the cross-client group commit
-		cr := commitReq{c: c, op: req.Op, id: req.ID, key: req.Key, val: req.Val, t0: t0}
+		cr := commitReq{c: c, op: req.Op, id: req.ID, key: req.Key, val: req.Val, rt: rt}
 		if len(req.Keys) > 0 {
 			// The decode buffer is reused for the next frame; the committer
 			// needs its own copy.
@@ -213,11 +228,14 @@ func (c *conn) busy(req *wire.Request) {
 	c.send(wire.AppendResponse(nil, &wire.Response{Status: wire.StatusBusy, Op: req.Op, ID: req.ID}))
 }
 
-// respond enqueues a request's final response and releases its token.
-func (c *conn) respond(resp *wire.Response, op obs.ServerOp, t0 time.Time) {
+// respond enqueues a request's final response, attributes its latency to
+// the per-op histograms and the trace section, and releases its token.
+func (c *conn) respond(resp *wire.Response, op obs.ServerOp, rt reqTimes) {
 	c.send(wire.AppendResponse(nil, resp))
 	if m := c.srv.m; m != nil && op >= 0 && op < obs.NumServerOps {
-		m.OpNanos[op].ObserveDuration(time.Since(t0))
+		end := time.Now()
+		m.OpNanos[op].ObserveDuration(end.Sub(rt.start))
+		c.srv.recordTrace(op, rt, end)
 	}
 	c.inflight.Add(-1)
 	c.pending.Done()
@@ -281,6 +299,10 @@ func (c *conn) writer() {
 		c.q = nil
 		c.idle = false
 		c.qmu.Unlock()
+		var tw time.Time
+		if c.srv.tr != nil {
+			tw = time.Now()
+		}
 		var n int
 		var err error
 		for _, f := range frames {
@@ -294,6 +316,11 @@ func (c *conn) writer() {
 		}
 		if m := c.srv.m; m != nil {
 			m.BytesWritten.Add(uint64(n))
+			if err == nil {
+				// One burst = one syscall; its duration is the outbound
+				// half of tail latency the per-stage timers can't see.
+				c.srv.tr.Flush.ObserveDuration(time.Since(tw))
+			}
 		}
 		if err != nil {
 			c.teardown()
@@ -319,7 +346,7 @@ func (c *conn) waitFlushed() {
 // for the same id. It stops early on OpCancel, client disconnect, or
 // shutdown teardown; the final frame is still attempted so a cancelling
 // client sees the stream terminate.
-func (c *conn) runScan(id uint64, lo, hi int64, cancel chan struct{}, t0 time.Time) {
+func (c *conn) runScan(id uint64, lo, hi int64, cancel chan struct{}, rt reqTimes) {
 	s := c.srv
 	defer func() {
 		<-c.scanSem
@@ -344,6 +371,9 @@ func (c *conn) runScan(id uint64, lo, hi int64, cancel chan struct{}, t0 time.Ti
 		}
 		return true
 	}
+	if s.tr != nil {
+		rt.applyStart = time.Now()
+	}
 	err := s.apply(func() {
 		s.store.Scan(lo, hi, func(k, v int64) bool {
 			select {
@@ -366,6 +396,9 @@ func (c *conn) runScan(id uint64, lo, hi int64, cancel chan struct{}, t0 time.Ti
 			return true
 		})
 	})
+	if s.tr != nil {
+		rt.applyEnd = time.Now()
+	}
 	if stopped && s.m != nil {
 		s.m.ScanCancels.Inc()
 	}
@@ -379,7 +412,7 @@ func (c *conn) runScan(id uint64, lo, hi int64, cancel chan struct{}, t0 time.Ti
 			s.m.Errors.Inc()
 		}
 	}
-	c.respond(&resp, obs.ServerOpScan, t0)
+	c.respond(&resp, obs.ServerOpScan, rt)
 }
 
 // beginDrain (graceful shutdown) stops the reader by expiring its blocked

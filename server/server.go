@@ -38,6 +38,7 @@ import (
 	"net"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pmago"
@@ -62,8 +63,21 @@ type Options struct {
 	// ScanChunkPairs is the pair count per streamed scan chunk frame
 	// (default 1024).
 	ScanChunkPairs int
-	// DisableMetrics turns the serving-layer metric set off.
+	// DisableMetrics turns the serving-layer metric set off, including the
+	// request-path trace section and the slow-op flight recorder.
 	DisableMetrics bool
+	// SlowOpThreshold is the slow-op flight recorder's capture threshold: a
+	// request whose total handling time reaches it is recorded with its
+	// full stage breakdown, readable via SlowOps and the Handler's /slow
+	// endpoint (default 20ms; negative disables threshold capture).
+	SlowOpThreshold time.Duration
+	// SlowOpSampleEvery additionally captures every Nth request regardless
+	// of latency, so the recorder always holds a baseline to compare slow
+	// captures against (default 4096; negative disables sampling).
+	SlowOpSampleEvery int
+	// SummaryEvery enables a periodic slog summary line — ops/s plus the
+	// windowed p99 of every active op — at the given period (0 disables).
+	SummaryEvery time.Duration
 	// Logger receives connection-level protocol errors (nil: slog.Default).
 	Logger *slog.Logger
 }
@@ -84,6 +98,18 @@ func (o Options) withDefaults() Options {
 	if o.ScanChunkPairs <= 0 {
 		o.ScanChunkPairs = 1024
 	}
+	switch {
+	case o.SlowOpThreshold == 0:
+		o.SlowOpThreshold = 20 * time.Millisecond
+	case o.SlowOpThreshold < 0:
+		o.SlowOpThreshold = 0 // disabled
+	}
+	switch {
+	case o.SlowOpSampleEvery == 0:
+		o.SlowOpSampleEvery = 4096
+	case o.SlowOpSampleEvery < 0:
+		o.SlowOpSampleEvery = 0 // disabled
+	}
 	if o.Logger == nil {
 		o.Logger = slog.Default()
 	}
@@ -96,6 +122,9 @@ type Server struct {
 	store pmago.Store
 	opts  Options
 	m     *obs.ServerMetrics // nil when disabled
+	tr    *obs.TraceMetrics  // request-path trace section; nil when disabled
+
+	sampleTick atomic.Uint64 // uniform 1-in-N flight-recorder sampling
 
 	commitCh chan commitReq
 
@@ -108,6 +137,10 @@ type Server struct {
 	connWg   sync.WaitGroup // live connections
 	commitWg sync.WaitGroup // the committer goroutine
 	stopOnce sync.Once      // closes commitCh exactly once
+
+	sumStop chan struct{} // summary logger, nil unless SummaryEvery > 0
+	sumOnce sync.Once
+	sumWg   sync.WaitGroup
 }
 
 // New wraps store in an unstarted server. The store is not closed by the
@@ -120,6 +153,12 @@ func New(store pmago.Store, opts Options) *Server {
 	}
 	if !s.opts.DisableMetrics {
 		s.m = &obs.ServerMetrics{}
+		s.tr = &obs.TraceMetrics{}
+		if s.opts.SummaryEvery > 0 {
+			s.sumStop = make(chan struct{})
+			s.sumWg.Add(1)
+			go s.summaryLoop()
+		}
 	}
 	s.commitCh = make(chan commitReq, s.opts.CommitQueue)
 	s.commitWg.Add(1)
@@ -191,7 +230,20 @@ func (s *Server) Addr() string {
 func (s *Server) Stats() pmago.Stats {
 	st := s.store.Stats()
 	st.Server = s.m.Snapshot()
+	st.Trace = s.tr.Snapshot()
 	return st
+}
+
+// SlowOps returns the slow-op flight recorder's captured requests, newest
+// first: every request whose total handling time reached SlowOpThreshold,
+// plus the 1-in-SlowOpSampleEvery uniform sample. Empty with metrics
+// disabled. pmago.Handler serves the same dump as JSON on paths ending in
+// "/slow".
+func (s *Server) SlowOps() []obs.SlowOp {
+	if s.tr == nil {
+		return nil
+	}
+	return s.tr.Slow.Dump()
 }
 
 // Shutdown stops accepting, stops reading new requests, waits for every
@@ -237,6 +289,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 	s.stopOnce.Do(func() { close(s.commitCh) })
 	s.commitWg.Wait()
+	s.stopSummary()
 	return err
 }
 
@@ -265,7 +318,48 @@ func (s *Server) Close() error {
 	s.connWg.Wait()
 	s.stopOnce.Do(func() { close(s.commitCh) })
 	s.commitWg.Wait()
+	s.stopSummary()
 	return nil
+}
+
+func (s *Server) stopSummary() {
+	if s.sumStop == nil {
+		return
+	}
+	s.sumOnce.Do(func() { close(s.sumStop) })
+	s.sumWg.Wait()
+}
+
+// summaryLoop is the periodic operational one-liner: overall request rate
+// since the last line plus each active op's windowed p99 — the glanceable
+// version of the trace section for log-only environments.
+func (s *Server) summaryLoop() {
+	defer s.sumWg.Done()
+	t := time.NewTicker(s.opts.SummaryEvery)
+	defer t.Stop()
+	last := time.Now()
+	var lastReqs uint64
+	for {
+		select {
+		case <-s.sumStop:
+			return
+		case now := <-t.C:
+			var reqs uint64
+			for i := range s.m.Requests {
+				reqs += s.m.Requests[i].Load()
+			}
+			attrs := []any{"ops_per_sec", float64(reqs-lastReqs) / now.Sub(last).Seconds()}
+			for op := obs.ServerOp(0); op < obs.NumServerOps; op++ {
+				w := s.tr.Total[op].Snapshot()
+				if w.Count == 0 {
+					continue
+				}
+				attrs = append(attrs, "p99_"+obs.ServerOpNames[op], time.Duration(w.P99))
+			}
+			s.opts.Logger.Info("pmago server: summary", attrs...)
+			last, lastReqs = now, reqs
+		}
+	}
 }
 
 func (s *Server) removeConn(c *conn) {
@@ -281,6 +375,18 @@ func (s *Server) removeConn(c *conn) {
 	}
 }
 
+// reqTimes carries one request's pipeline timestamps from frame decode to
+// response enqueue — the per-request trace context. A zero time marks a
+// stage the request never entered (reads skip picked; error responses skip
+// the apply pair). All stamps are taken only when metrics are enabled.
+type reqTimes struct {
+	start      time.Time // frame payload in hand, decode begins
+	decoded    time.Time // request decoded and validated
+	picked     time.Time // writes: drained off the commit queue
+	applyStart time.Time // store call began
+	applyEnd   time.Time // store call returned
+}
+
 // commitReq is one write request queued for the committer. Keys/Vals are
 // owned by the request (copied out of the connection's decode buffer).
 type commitReq struct {
@@ -290,7 +396,7 @@ type commitReq struct {
 	key, val int64
 	keys     []int64
 	vals     []int64
-	t0       time.Time
+	rt       reqTimes
 }
 
 // committer is the single goroutine all write requests funnel through: it
@@ -303,6 +409,9 @@ func (s *Server) committer() {
 	defer s.commitWg.Done()
 	batch := make([]commitReq, 0, s.opts.MaxCommitOps)
 	for first := range s.commitCh {
+		if s.tr != nil {
+			first.rt.picked = time.Now()
+		}
 		batch = append(batch[:0], first)
 		// Collect window: the channel send that delivered `first` made this
 		// goroutine runnable immediately, often before the other connections'
@@ -311,6 +420,12 @@ func (s *Server) committer() {
 		// drain. The yields cost microseconds; the fsync this coalescing
 		// shares costs hundreds.
 		for spin := 0; ; spin++ {
+			// One queue-exit stamp per drain round, shared by the round's
+			// requests: per-request precision isn't worth a clock read per op.
+			var now time.Time
+			if s.tr != nil {
+				now = time.Now()
+			}
 		drain:
 			for len(batch) < s.opts.MaxCommitOps {
 				select {
@@ -318,6 +433,7 @@ func (s *Server) committer() {
 					if !ok {
 						break drain
 					}
+					r.rt.picked = now
 					batch = append(batch, r)
 				default:
 					break drain
@@ -354,6 +470,10 @@ func (s *Server) applyBatch(batch []commitReq) {
 			putVals = append(putVals, batch[i].vals...)
 			nPuts++
 		}
+	}
+	var tApply time.Time
+	if s.tr != nil {
+		tApply = time.Now()
 	}
 	var putErr error
 	var wg sync.WaitGroup
@@ -393,6 +513,16 @@ func (s *Server) applyBatch(batch []commitReq) {
 		}
 	}
 	wg.Wait()
+	if s.tr != nil {
+		// The shared store call is every batched request's apply stage: the
+		// group commit is one WAL record and one fsync, so its cost is the
+		// cost each rider experienced.
+		tApplied := time.Now()
+		for i := range batch {
+			batch[i].rt.applyStart = tApply
+			batch[i].rt.applyEnd = tApplied
+		}
+	}
 	if s.m != nil {
 		s.m.GroupCommits.Inc()
 		s.m.CommitOps.Observe(uint64(len(batch)))
@@ -418,7 +548,59 @@ func (s *Server) applyBatch(batch []commitReq) {
 				s.m.Errors.Inc()
 			}
 		}
-		r.c.respond(&resp, obs.ServerOp(r.op-wire.OpPut), r.t0)
+		r.c.respond(&resp, obs.ServerOp(r.op-wire.OpPut), r.rt)
+	}
+}
+
+// nanosBetween is b-a in nanoseconds, 0 when either stamp is missing (a
+// stage the request never entered) or the difference is negative.
+func nanosBetween(a, b time.Time) uint64 {
+	if a.IsZero() || b.IsZero() {
+		return 0
+	}
+	d := b.Sub(a)
+	if d < 0 {
+		return 0
+	}
+	return uint64(d)
+}
+
+// recordTrace attributes one answered request to the trace section and,
+// when slow or sampled, captures its breakdown in the flight recorder. The
+// stages partition [rt.start, end] exactly for writes (decode → queue →
+// commit-wait → apply → respond); reads leave queue and commit-wait at 0.
+// Allocation-free: window observes and a struct copy into the slow ring.
+func (s *Server) recordTrace(op obs.ServerOp, rt reqTimes, end time.Time) {
+	tr := s.tr
+	if tr == nil || rt.start.IsZero() {
+		return
+	}
+	var stages [obs.NumTraceStages]uint64
+	stages[obs.StageDecode] = nanosBetween(rt.start, rt.decoded)
+	stages[obs.StageQueue] = nanosBetween(rt.decoded, rt.picked)
+	stages[obs.StageCommitWait] = nanosBetween(rt.picked, rt.applyStart)
+	stages[obs.StageApply] = nanosBetween(rt.applyStart, rt.applyEnd)
+	respondFrom := rt.applyEnd
+	if respondFrom.IsZero() {
+		respondFrom = rt.decoded
+	}
+	stages[obs.StageRespond] = nanosBetween(respondFrom, end)
+	total := nanosBetween(rt.start, end)
+	now := end.UnixNano()
+	tr.Record(op, now, &stages, total)
+	sampled := false
+	if n := uint64(s.opts.SlowOpSampleEvery); n > 0 {
+		sampled = s.sampleTick.Add(1)%n == 0
+	}
+	slow := s.opts.SlowOpThreshold > 0 && total >= uint64(s.opts.SlowOpThreshold)
+	if slow || sampled {
+		tr.Slow.Record(obs.SlowOp{
+			Op:         obs.ServerOpNames[op],
+			UnixNanos:  now,
+			TotalNanos: total,
+			Stages:     stages,
+			Sampled:    !slow,
+		})
 	}
 }
 

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"testing"
+	"time"
+
+	"pmago"
+	"pmago/internal/obs"
+)
+
+// TestServeRecordingDoesNotAllocate guards the instrumented request path:
+// recordTrace — the per-request trace attribution including a slow-ring
+// capture — must not allocate, keeping the server's hot path at the same
+// zero-allocation contract the rest of the metric set holds.
+func TestServeRecordingDoesNotAllocate(t *testing.T) {
+	p, err := pmago.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	s := New(p, Options{
+		SlowOpThreshold:   time.Nanosecond, // force the slow-ring capture path
+		SlowOpSampleEvery: 1,
+	})
+	defer s.Close()
+
+	start := time.Now()
+	rt := reqTimes{
+		start:      start,
+		decoded:    start.Add(1 * time.Microsecond),
+		picked:     start.Add(2 * time.Microsecond),
+		applyStart: start.Add(3 * time.Microsecond),
+		applyEnd:   start.Add(9 * time.Microsecond),
+	}
+	end := start.Add(10 * time.Microsecond)
+	if n := testing.AllocsPerRun(1000, func() {
+		s.recordTrace(obs.ServerOpPut, rt, end)
+	}); n != 0 {
+		t.Fatalf("recordTrace allocates %v/op", n)
+	}
+}
+
+// TestNanosBetween pins the stamp arithmetic's zero-handling.
+func TestNanosBetween(t *testing.T) {
+	var zero time.Time
+	now := time.Now()
+	if got := nanosBetween(zero, now); got != 0 {
+		t.Fatalf("zero a: %d", got)
+	}
+	if got := nanosBetween(now, zero); got != 0 {
+		t.Fatalf("zero b: %d", got)
+	}
+	if got := nanosBetween(now.Add(time.Second), now); got != 0 {
+		t.Fatalf("negative: %d", got)
+	}
+	if got := nanosBetween(now, now.Add(time.Millisecond)); got != uint64(time.Millisecond) {
+		t.Fatalf("positive: %d", got)
+	}
+}
